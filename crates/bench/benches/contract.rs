@@ -1,0 +1,53 @@
+//! Contraction and batch-dynamic update benchmarks.
+//!
+//! Run with `cargo bench -p dtc-bench`, or `cargo bench -p dtc-bench --
+//! --test` for the CI smoke mode (each bench executes once).
+
+use dtc_bench::Harness;
+use dtc_core::gen;
+use dtc_core::{DynForest, Forest, NodeId, SubtreeSum};
+
+fn main() {
+    let h = Harness::from_env();
+
+    bench_contract(&h, "contract/random_10k", || gen::random_tree(10_000, 42));
+    bench_contract(&h, "contract/random_100k", || gen::random_tree(100_000, 42));
+    bench_contract(&h, "contract/path_100k", || gen::path(100_000, 42));
+    bench_contract(&h, "contract/caterpillar_100k", || {
+        gen::caterpillar(20_000, 4, 42)
+    });
+
+    // Batch of 1k cuts against a 100k-node random tree: the state is built
+    // once and cloned per iteration so only cut + recompute are measured
+    // (clone cost is part of setup, which the harness excludes).
+    let base = DynForest::new(gen::random_tree(100_000, 7), SubtreeSum);
+    let cuts: Vec<NodeId> = base
+        .forest()
+        .node_ids()
+        .filter(|v| !base.forest().is_root(*v))
+        .step_by(97)
+        .take(1_000)
+        .collect();
+    h.bench(
+        "dynamic/batch_cut_1k",
+        || base.clone(),
+        |d| {
+            d.batch_cut(&cuts);
+            d.recompute()
+        },
+    );
+
+    let updates: Vec<(NodeId, i64)> = cuts.iter().map(|&v| (v, 1)).collect();
+    h.bench(
+        "dynamic/batch_update_1k",
+        || base.clone(),
+        |d| {
+            d.batch_update_weights(&updates);
+            d.recompute()
+        },
+    );
+}
+
+fn bench_contract(h: &Harness, name: &str, mut make: impl FnMut() -> Forest<i64>) {
+    h.bench(name, &mut make, |f| f.contract(&SubtreeSum).rounds());
+}

@@ -1,0 +1,132 @@
+//! A minimal Criterion-style benchmark harness.
+//!
+//! The container this repo builds in has no access to crates.io, so instead
+//! of depending on `criterion` we ship a tiny harness with the two features
+//! CI needs:
+//!
+//! * timed runs with per-iteration setup (measured region excludes setup);
+//! * a `--test` smoke mode (`cargo bench -- --test`) that runs every bench
+//!   exactly once so benchmarks cannot bit-rot without failing CI.
+
+use std::time::{Duration, Instant};
+
+/// Target measured wall time per benchmark before reporting.
+const TARGET_TIME: Duration = Duration::from_millis(500);
+/// Iteration bounds per benchmark.
+const MIN_ITERS: usize = 5;
+const MAX_ITERS: usize = 200;
+
+/// Benchmark runner configured from the command line.
+pub struct Harness {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Parses `std::env::args`: `--test` enables smoke mode, any other
+    /// non-flag argument is a substring filter on benchmark names (flags
+    /// cargo passes through, like `--bench`, are ignored).
+    pub fn from_env() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Harness { test_mode, filter }
+    }
+
+    /// `true` when running in `--test` smoke mode.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    fn skip(&self, name: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !name.contains(f))
+    }
+
+    /// Runs one benchmark: `setup` builds fresh per-iteration state (not
+    /// measured), `routine` is the measured region. The routine's output is
+    /// returned from a black-box sink so the optimizer cannot discard it.
+    pub fn bench<S, T>(
+        &self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(&mut S) -> T,
+    ) {
+        if self.skip(name) {
+            return;
+        }
+        if self.test_mode {
+            let mut state = setup();
+            let out = routine(&mut state);
+            std::hint::black_box(&out);
+            println!("test {name} ... ok");
+            return;
+        }
+
+        // Warmup.
+        for _ in 0..2 {
+            let mut state = setup();
+            std::hint::black_box(&routine(&mut state));
+        }
+
+        let mut samples: Vec<Duration> = Vec::new();
+        let mut total = Duration::ZERO;
+        while samples.len() < MIN_ITERS || (total < TARGET_TIME && samples.len() < MAX_ITERS) {
+            let mut state = setup();
+            let start = Instant::now();
+            let out = routine(&mut state);
+            let elapsed = start.elapsed();
+            std::hint::black_box(&out);
+            samples.push(elapsed);
+            total += elapsed;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let mean = total / samples.len() as u32;
+        println!(
+            "{name:<32} min {:>12} | median {:>12} | mean {:>12} | {} iters",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len()
+        );
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::from_env()
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_picks_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,292 @@
+//! Contraction algebras: the value semantics plugged into the engine.
+//!
+//! A [`Algebra`] describes how subtree values are built up during rake and
+//! compress steps. The formulation follows Miller–Reif expression
+//! evaluation: every live node keeps a partial accumulator (`Acc`) holding
+//! the already-raked children, and every live edge carries a unary function
+//! (`Fun`) mapping the child's final subtree value to its contribution at
+//! the parent. Rake folds a finished child through its edge function into
+//! the parent accumulator; compress composes edge functions so a unary
+//! chain collapses to a single edge.
+//!
+//! Two concrete algebras ship with the crate:
+//! * [`SubtreeSum`] — weighted subtree sums over `i64` labels;
+//! * [`ExprEval`] — arithmetic expression trees with `+` and `×` internal
+//!   nodes, evaluated via affine function composition.
+//!
+//! All arithmetic is wrapping (`ℤ/2⁶⁴`-style), so contraction and the
+//! sequential oracle agree exactly even when products overflow.
+
+/// Value semantics for tree contraction.
+///
+/// Laws the engine relies on (for labels actually used in a forest):
+/// * `absorb` must be commutative across sibling values: siblings may be
+///   raked in any order within a round.
+/// * `compose` must be associative with `identity` as unit, and
+///   `apply(compose(f, g), x) == apply(f, apply(g, x))`.
+/// * For a node with accumulator `acc` and exactly one remaining child
+///   whose final value is `x`: the node's final value must equal
+///   `apply(to_fun(acc), x)`, and for a node with no remaining children it
+///   must equal `finish(acc)`.
+pub trait Algebra: Clone {
+    /// Per-node input label (weight, operator, ...).
+    type Label: Clone;
+    /// Final subtree value.
+    type Val: Clone;
+    /// Partial accumulator held by a live node.
+    type Acc: Clone;
+    /// Unary function `Val -> Val` carried by a live edge.
+    type Fun: Clone;
+
+    /// Fresh accumulator for a node with the given label and no children
+    /// absorbed yet.
+    fn init_acc(&self, label: &Self::Label) -> Self::Acc;
+
+    /// Folds a finished child's contribution into the accumulator.
+    fn absorb(&self, acc: &mut Self::Acc, child: Self::Val);
+
+    /// Final value of a node all of whose children have been absorbed.
+    fn finish(&self, acc: &Self::Acc) -> Self::Val;
+
+    /// Unary function for a node with exactly one remaining child: the
+    /// node's final value as a function of that child's final value.
+    fn to_fun(&self, acc: &Self::Acc) -> Self::Fun;
+
+    /// Identity edge function.
+    fn identity(&self) -> Self::Fun;
+
+    /// Function composition, `outer ∘ inner`.
+    fn compose(&self, outer: &Self::Fun, inner: &Self::Fun) -> Self::Fun;
+
+    /// Applies an edge function to a value.
+    fn apply(&self, f: &Self::Fun, x: Self::Val) -> Self::Val;
+}
+
+/// Subtree-sum aggregation over `i64` node weights.
+///
+/// `Acc` is the partial sum, and the edge functions are additive shifts, so
+/// compress simply adds the spliced-out chain's partial sums.
+///
+/// ```
+/// use dtc_core::{Forest, SubtreeSum};
+/// let mut f = Forest::new();
+/// let r = f.add_root(10i64);
+/// let a = f.add_child(r, 20);
+/// f.add_child(a, 30);
+/// assert_eq!(*f.contract(&SubtreeSum).subtree_value(r), 60);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubtreeSum;
+
+impl Algebra for SubtreeSum {
+    type Label = i64;
+    type Val = i64;
+    type Acc = i64;
+    /// Additive shift.
+    type Fun = i64;
+
+    #[inline]
+    fn init_acc(&self, label: &i64) -> i64 {
+        *label
+    }
+
+    #[inline]
+    fn absorb(&self, acc: &mut i64, child: i64) {
+        *acc = acc.wrapping_add(child);
+    }
+
+    #[inline]
+    fn finish(&self, acc: &i64) -> i64 {
+        *acc
+    }
+
+    #[inline]
+    fn to_fun(&self, acc: &i64) -> i64 {
+        *acc
+    }
+
+    #[inline]
+    fn identity(&self) -> i64 {
+        0
+    }
+
+    #[inline]
+    fn compose(&self, outer: &i64, inner: &i64) -> i64 {
+        outer.wrapping_add(*inner)
+    }
+
+    #[inline]
+    fn apply(&self, f: &i64, x: i64) -> i64 {
+        f.wrapping_add(x)
+    }
+}
+
+/// Operator carried by internal nodes of an expression tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprOp {
+    /// Sum of all children.
+    Add,
+    /// Product of all children.
+    Mul,
+}
+
+/// Node label for expression trees: constants at the leaves, operators at
+/// internal nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprLabel {
+    /// A constant leaf.
+    Leaf(i64),
+    /// An operator node; its value combines the children's values.
+    Op(ExprOp),
+}
+
+/// Affine function `x ↦ a·x + b` over wrapping `i64`.
+///
+/// Affine maps are closed under composition, which is exactly what makes
+/// `+`/`×` expression trees contractible: a unary `Add` node with folded
+/// constant `c` is `x ↦ x + c`, a unary `Mul` node is `x ↦ c·x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Affine {
+    /// Multiplicative coefficient.
+    pub a: i64,
+    /// Additive constant.
+    pub b: i64,
+}
+
+impl Affine {
+    /// The identity map `x ↦ x`.
+    pub const IDENTITY: Affine = Affine { a: 1, b: 0 };
+
+    /// Evaluates the map at `x` (wrapping).
+    #[inline]
+    pub fn eval(self, x: i64) -> i64 {
+        self.a.wrapping_mul(x).wrapping_add(self.b)
+    }
+
+    /// `self ∘ inner` (wrapping).
+    #[inline]
+    pub fn after(self, inner: Affine) -> Affine {
+        Affine {
+            a: self.a.wrapping_mul(inner.a),
+            b: self.a.wrapping_mul(inner.b).wrapping_add(self.b),
+        }
+    }
+}
+
+/// Partial accumulator of an expression node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprAcc {
+    /// A constant leaf.
+    Leaf(i64),
+    /// An operator node with the fold of its already-absorbed children
+    /// (`0` for `Add`, `1` for `Mul` when nothing is absorbed yet).
+    Partial {
+        /// The node's operator.
+        op: ExprOp,
+        /// Fold of absorbed children under `op`.
+        folded: i64,
+    },
+}
+
+/// Expression-tree evaluation over [`ExprLabel`] nodes.
+///
+/// Internal nodes may have any arity ≥ 1; `Add` sums its children and `Mul`
+/// multiplies them. Arithmetic wraps on overflow.
+///
+/// ```
+/// use dtc_core::{ExprEval, ExprLabel::{Leaf, Op}, ExprOp::{Add, Mul}, Forest};
+/// // (2 + 3) * 4
+/// let mut f = Forest::new();
+/// let root = f.add_root(Op(Mul));
+/// let plus = f.add_child(root, Op(Add));
+/// f.add_child(plus, Leaf(2));
+/// f.add_child(plus, Leaf(3));
+/// f.add_child(root, Leaf(4));
+/// assert_eq!(*f.contract(&ExprEval).subtree_value(root), 20);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExprEval;
+
+impl Algebra for ExprEval {
+    type Label = ExprLabel;
+    type Val = i64;
+    type Acc = ExprAcc;
+    type Fun = Affine;
+
+    #[inline]
+    fn init_acc(&self, label: &ExprLabel) -> ExprAcc {
+        match *label {
+            ExprLabel::Leaf(v) => ExprAcc::Leaf(v),
+            ExprLabel::Op(op) => ExprAcc::Partial {
+                op,
+                folded: match op {
+                    ExprOp::Add => 0,
+                    ExprOp::Mul => 1,
+                },
+            },
+        }
+    }
+
+    #[inline]
+    fn absorb(&self, acc: &mut ExprAcc, child: i64) {
+        match acc {
+            ExprAcc::Leaf(_) => panic!("expression leaf cannot have children"),
+            ExprAcc::Partial { op, folded } => {
+                *folded = match op {
+                    ExprOp::Add => folded.wrapping_add(child),
+                    ExprOp::Mul => folded.wrapping_mul(child),
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn finish(&self, acc: &ExprAcc) -> i64 {
+        match *acc {
+            ExprAcc::Leaf(v) => v,
+            ExprAcc::Partial { folded, .. } => folded,
+        }
+    }
+
+    #[inline]
+    fn to_fun(&self, acc: &ExprAcc) -> Affine {
+        match *acc {
+            ExprAcc::Leaf(_) => panic!("expression leaf cannot have children"),
+            ExprAcc::Partial { op, folded } => match op {
+                ExprOp::Add => Affine { a: 1, b: folded },
+                ExprOp::Mul => Affine { a: folded, b: 0 },
+            },
+        }
+    }
+
+    #[inline]
+    fn identity(&self) -> Affine {
+        Affine::IDENTITY
+    }
+
+    #[inline]
+    fn compose(&self, outer: &Affine, inner: &Affine) -> Affine {
+        outer.after(*inner)
+    }
+
+    #[inline]
+    fn apply(&self, f: &Affine, x: i64) -> i64 {
+        f.eval(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_composition_matches_pointwise() {
+        let f = Affine { a: 3, b: 5 };
+        let g = Affine { a: -2, b: 7 };
+        for x in [-4i64, 0, 1, 9, i64::MAX] {
+            assert_eq!(f.after(g).eval(x), f.eval(g.eval(x)));
+        }
+        assert_eq!(Affine::IDENTITY.after(f), f);
+        assert_eq!(f.after(Affine::IDENTITY), f);
+    }
+}

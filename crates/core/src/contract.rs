@@ -1,0 +1,145 @@
+//! Static (whole-forest) contraction and the sequential oracle.
+
+use crate::algebra::Algebra;
+use crate::arena::{Forest, NONE};
+use crate::engine::Scratch;
+use crate::NodeId;
+
+/// Result of contracting a whole forest: final subtree values for every
+/// node, per-component aggregates, and the round-stamped trace.
+pub struct Contraction<A: Algebra> {
+    vals: Vec<A::Val>,
+    components: Vec<(NodeId, A::Val)>,
+    rounds: u32,
+    death_round: Vec<u32>,
+}
+
+impl<A: Algebra> Contraction<A> {
+    /// Final value of the subtree rooted at `v`.
+    pub fn subtree_value(&self, v: NodeId) -> &A::Val {
+        &self.vals[v.index()]
+    }
+
+    /// All subtree values, indexed by [`NodeId::index`].
+    pub fn values(&self) -> &[A::Val] {
+        &self.vals
+    }
+
+    /// `(root, aggregate)` for every component of the forest.
+    pub fn components(&self) -> &[(NodeId, A::Val)] {
+        &self.components
+    }
+
+    /// Number of rake/compress rounds the contraction took.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Round (1-based) in which `v` was contracted away — the node's stamp
+    /// in the contraction DAG.
+    pub fn death_round(&self, v: NodeId) -> u32 {
+        self.death_round[v.index()]
+    }
+}
+
+impl<L> Forest<L> {
+    /// Contracts the whole forest under `alg` with a default coin seed.
+    ///
+    /// See [`Forest::contract_seeded`] for details.
+    pub fn contract<A>(&self, alg: &A) -> Contraction<A>
+    where
+        A: Algebra<Label = L>,
+    {
+        self.contract_seeded(alg, 0x5EED)
+    }
+
+    /// Contracts the whole forest under `alg`, using `seed` for the
+    /// compress coin flips.
+    ///
+    /// The result is independent of the seed (the coins only affect *which*
+    /// unary nodes are spliced each round, never the algebraic outcome);
+    /// exposing it keeps runs reproducible.
+    ///
+    /// ```
+    /// use dtc_core::{Forest, SubtreeSum};
+    /// let mut f = Forest::new();
+    /// let r = f.add_root(5i64);
+    /// f.add_child(r, 6);
+    /// let c = f.contract_seeded(&SubtreeSum, 123);
+    /// assert_eq!(c.components(), &[(r, 11)]);
+    /// ```
+    pub fn contract_seeded<A>(&self, alg: &A, seed: u64) -> Contraction<A>
+    where
+        A: Algebra<Label = L>,
+    {
+        let n = self.len();
+        let mut scratch: Scratch<A> = Scratch::default();
+        scratch.ensure(n);
+
+        for v in 0..n as u32 {
+            let p = self.parent_raw(v);
+            scratch.par[v as usize] = p;
+            if p != NONE {
+                scratch.count[p as usize] += 1;
+            }
+        }
+        for v in 0..n {
+            scratch.acc[v] = Some(alg.init_acc(self.label(NodeId(v as u32))));
+            scratch.fun[v] = Some(alg.identity());
+            scratch.alive[v] = true;
+        }
+
+        let active: Vec<u32> = (0..n as u32).collect();
+        let outcome = scratch.contract(alg, &active, seed);
+
+        let mut out: Vec<Option<A::Val>> = vec![None; n];
+        scratch.backsolve(alg, &mut out);
+        let vals = out
+            .into_iter()
+            .map(|v| v.expect("every node contracted"))
+            .collect();
+
+        Contraction {
+            vals,
+            components: outcome.components,
+            rounds: outcome.rounds,
+            death_round: scratch.death_round,
+        }
+    }
+
+    /// Sequential reference evaluation: an iterative bottom-up fold that
+    /// shares only the [`Algebra`] with the contraction engine, making it a
+    /// correctness oracle for [`Forest::contract`].
+    ///
+    /// Returns the final subtree value of every node, indexed by
+    /// [`NodeId::index`]. Runs in `O(n)` with an explicit stack, so deep
+    /// paths cannot overflow the call stack.
+    pub fn sequential_fold<A>(&self, alg: &A) -> Vec<A::Val>
+    where
+        A: Algebra<Label = L>,
+    {
+        let n = self.len();
+        let children = self.build_children();
+
+        // Preorder via explicit stack; reversed, every child precedes its
+        // parent, which is exactly the fold order we need.
+        let mut order = Vec::with_capacity(n);
+        let mut stack: Vec<u32> = self.roots().map(|r| r.raw()).collect();
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            stack.extend_from_slice(&children[u as usize]);
+        }
+        assert_eq!(order.len(), n, "parent links must be acyclic");
+
+        let mut vals: Vec<Option<A::Val>> = vec![None; n];
+        for &u in order.iter().rev() {
+            let mut acc = alg.init_acc(self.label(NodeId(u)));
+            for &c in &children[u as usize] {
+                let cv = vals[c as usize].clone().expect("children folded first");
+                alg.absorb(&mut acc, cv);
+            }
+            vals[u as usize] = Some(alg.finish(&acc));
+        }
+        vals.into_iter().map(|v| v.unwrap()).collect()
+    }
+}

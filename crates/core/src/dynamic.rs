@@ -1,0 +1,341 @@
+//! Batch-dynamic forests via change propagation over the contraction trace.
+//!
+//! [`DynForest`] keeps, for every node, the final subtree value computed by
+//! the last contraction. Structural edits ([`DynForest::batch_cut`],
+//! [`DynForest::batch_link`]) and label edits
+//! ([`DynForest::batch_update_weights`]) are applied to the shape
+//! immediately, but value recomputation is deferred: each edit only *marks
+//! dirty* the nodes whose cached values it invalidates — the edited node
+//! (for label changes) and its ancestors up to the component root. Because
+//! dirty paths are upward-closed, marking stops as soon as it meets an
+//! already-dirty node, so overlapping updates in a batch share work.
+//!
+//! [`DynForest::recompute`] then re-runs rake/compress contraction *only on
+//! the dirty set*: a clean child of a dirty node enters the contraction as
+//! a pre-absorbed constant (its cached subtree value), exactly as if its
+//! whole subtree had already been raked away. For shallow trees this makes
+//! an update batch cost `O(Σ (depth × degree))` instead of `O(n)`
+//! contraction work — seeding a dirty node still re-absorbs all of its
+//! clean children, so very high-degree nodes (stars) pay their degree per
+//! update; see ROADMAP for the planned partial-accumulator fix.
+//!
+//! This is the "affected set" form of the paper's change propagation; the
+//! round-stamped trace recorded by the engine is what makes cached values
+//! available at every node (via backsolving), not just at the roots.
+
+use crate::algebra::Algebra;
+use crate::arena::{Forest, NONE};
+use crate::engine::{Death, Scratch};
+use crate::rng::splitmix64;
+use crate::NodeId;
+
+/// Statistics returned by [`DynForest::recompute`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Nodes whose values were recomputed (the dirty set).
+    pub dirty: usize,
+    /// Total nodes in the forest.
+    pub total: usize,
+    /// Rake/compress rounds the re-contraction took.
+    pub rounds: u32,
+}
+
+/// A forest supporting batch-dynamic edits with incremental re-contraction.
+///
+/// ```
+/// use dtc_core::{DynForest, Forest, SubtreeSum};
+///
+/// let mut f = Forest::new();
+/// let r = f.add_root(1i64);
+/// let a = f.add_child(r, 2);
+/// f.add_child(a, 3);
+///
+/// let mut d = DynForest::new(f, SubtreeSum);
+/// assert_eq!(*d.subtree_value(r), 6);
+///
+/// // Cut `a` off: only `r`'s cached value is invalidated.
+/// d.batch_cut(&[a]);
+/// let stats = d.recompute();
+/// assert_eq!(stats.dirty, 1);
+/// assert_eq!(*d.subtree_value(r), 1);
+/// assert_eq!(*d.subtree_value(a), 5);
+///
+/// // Link it back and bump a weight in the same batch.
+/// d.batch_link(&[(a, r)]);
+/// d.batch_update_weights(&[(r, 100)]);
+/// d.recompute();
+/// assert_eq!(*d.subtree_value(r), 105);
+/// ```
+pub struct DynForest<A: Algebra> {
+    alg: A,
+    forest: Forest<A::Label>,
+    children: Vec<Vec<u32>>,
+    /// Position of each node in its parent's child list (stale for roots),
+    /// so cuts are O(1) instead of a scan of the parent's children.
+    child_slot: Vec<u32>,
+    subtree: Vec<Option<A::Val>>,
+    dirty: Vec<bool>,
+    dirty_list: Vec<u32>,
+    scratch: Scratch<A>,
+    seed: u64,
+}
+
+impl<A: Algebra> DynForest<A> {
+    /// Wraps `forest` and runs the initial full contraction.
+    pub fn new(forest: Forest<A::Label>, alg: A) -> Self {
+        Self::with_seed(forest, alg, 0xD15EA5E)
+    }
+
+    /// Like [`DynForest::new`] with an explicit coin seed (reproducibility).
+    pub fn with_seed(forest: Forest<A::Label>, alg: A, seed: u64) -> Self {
+        let n = forest.len();
+        let children = forest.build_children();
+        let mut child_slot = vec![0u32; n];
+        for kids in &children {
+            for (i, &c) in kids.iter().enumerate() {
+                child_slot[c as usize] = i as u32;
+            }
+        }
+        let mut d = DynForest {
+            alg,
+            forest,
+            children,
+            child_slot,
+            subtree: vec![None; n],
+            dirty: vec![true; n],
+            dirty_list: (0..n as u32).collect(),
+            scratch: Scratch::default(),
+            seed,
+        };
+        d.recompute();
+        d
+    }
+
+    /// Read access to the underlying forest shape.
+    pub fn forest(&self) -> &Forest<A::Label> {
+        &self.forest
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.forest.len()
+    }
+
+    /// `true` when the forest has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.forest.is_empty()
+    }
+
+    /// Number of nodes currently marked dirty (pending [`DynForest::recompute`]).
+    pub fn pending(&self) -> usize {
+        self.dirty_list.len()
+    }
+
+    /// `true` when `v`'s cached value is stale.
+    pub fn is_dirty(&self, v: NodeId) -> bool {
+        self.dirty[v.index()]
+    }
+
+    /// Root of the component containing `v`.
+    pub fn root_of(&self, v: NodeId) -> NodeId {
+        self.forest.root_of(v)
+    }
+
+    /// Final subtree value of `v` as of the last recompute.
+    ///
+    /// # Panics
+    /// Panics if `v` is dirty — call [`DynForest::recompute`] first.
+    pub fn subtree_value(&self, v: NodeId) -> &A::Val {
+        assert!(
+            !self.dirty[v.index()],
+            "subtree_value({v}): node has pending updates; call recompute()"
+        );
+        self.subtree[v.index()]
+            .as_ref()
+            .expect("clean node has a cached value")
+    }
+
+    /// Aggregate of the component rooted at `root`.
+    ///
+    /// # Panics
+    /// Panics if `root` is not a root or is dirty.
+    pub fn component_value(&self, root: NodeId) -> &A::Val {
+        assert!(
+            self.forest.is_root(root),
+            "component_value({root}): not a root"
+        );
+        self.subtree_value(root)
+    }
+
+    /// Marks `start` and all its ancestors dirty, stopping early at the
+    /// first already-dirty node (whose ancestors are dirty by invariant).
+    fn mark_path_dirty(&mut self, start: u32) {
+        let mut u = start;
+        loop {
+            if self.dirty[u as usize] {
+                return;
+            }
+            self.dirty[u as usize] = true;
+            self.dirty_list.push(u);
+            let p = self.forest.parent_raw(u);
+            if p == NONE {
+                return;
+            }
+            u = p;
+        }
+    }
+
+    /// Cuts each node in `cuts` from its parent, making it a component root.
+    ///
+    /// The cut subtree's cached values stay valid; only the old ancestors
+    /// are invalidated.
+    ///
+    /// # Panics
+    /// Panics if a node is already a root.
+    pub fn batch_cut(&mut self, cuts: &[NodeId]) {
+        for &v in cuts {
+            let p = self.forest.parent_raw(v.raw());
+            assert!(p != NONE, "batch_cut({v}): node is already a root");
+            let kids = &mut self.children[p as usize];
+            let pos = self.child_slot[v.index()] as usize;
+            debug_assert_eq!(kids[pos], v.raw(), "child_slot tracks child lists");
+            kids.swap_remove(pos);
+            if pos < kids.len() {
+                self.child_slot[kids[pos] as usize] = pos as u32;
+            }
+            self.forest.set_parent_raw(v.raw(), NONE);
+            self.mark_path_dirty(p);
+        }
+    }
+
+    /// Links each `(child, parent)` pair, attaching the tree rooted at
+    /// `child` under `parent`.
+    ///
+    /// The linked subtree's cached values stay valid; only the new
+    /// ancestors are invalidated.
+    ///
+    /// Each link walks `parent`'s chain to its root to reject cycles, so a
+    /// batch costs `O(k × depth)` before any recomputation; the walk is
+    /// kept in release builds because an undetected cycle would hang every
+    /// later traversal.
+    ///
+    /// # Panics
+    /// Panics if `child` is not a root, or if `parent` lies inside
+    /// `child`'s own subtree (which would create a cycle).
+    pub fn batch_link(&mut self, links: &[(NodeId, NodeId)]) {
+        for &(child, parent) in links {
+            assert!(
+                self.forest.is_root(child),
+                "batch_link({child} -> {parent}): child is not a root"
+            );
+            assert!(
+                self.forest.root_of(parent) != child,
+                "batch_link({child} -> {parent}): parent is inside child's subtree"
+            );
+            self.child_slot[child.index()] = self.children[parent.index()].len() as u32;
+            self.children[parent.index()].push(child.raw());
+            self.forest.set_parent_raw(child.raw(), parent.raw());
+            self.mark_path_dirty(parent.raw());
+        }
+    }
+
+    /// Replaces the labels (weights/operators) of the given nodes.
+    pub fn batch_update_weights(&mut self, updates: &[(NodeId, A::Label)]) {
+        for (v, label) in updates {
+            self.forest.set_label(*v, label.clone());
+            self.mark_path_dirty(v.raw());
+        }
+    }
+
+    /// Re-contracts the dirty set, refreshing all invalidated values.
+    ///
+    /// Clean children of dirty nodes are absorbed as cached constants, so
+    /// the contraction work is proportional to the dirty set plus the
+    /// total degree of its nodes, not to the forest.
+    pub fn recompute(&mut self) -> UpdateStats {
+        let n = self.forest.len();
+        if self.dirty_list.is_empty() {
+            return UpdateStats {
+                dirty: 0,
+                total: n,
+                rounds: 0,
+            };
+        }
+        self.seed = splitmix64(self.seed);
+        self.scratch.ensure(n);
+
+        let DynForest {
+            alg,
+            forest,
+            children,
+            subtree,
+            dirty,
+            dirty_list,
+            scratch,
+            seed,
+            ..
+        } = self;
+
+        for &u in dirty_list.iter() {
+            let ui = u as usize;
+            let p = forest.parent_raw(u);
+            debug_assert!(
+                p == NONE || dirty[p as usize],
+                "dirty set must be upward-closed"
+            );
+            scratch.par[ui] = p;
+            let mut acc = alg.init_acc(forest.label(NodeId(u)));
+            let mut live_children = 0u32;
+            for &c in &children[ui] {
+                if dirty[c as usize] {
+                    live_children += 1;
+                } else {
+                    let cached = subtree[c as usize]
+                        .clone()
+                        .expect("clean child has a cached value");
+                    alg.absorb(&mut acc, cached);
+                }
+            }
+            scratch.count[ui] = live_children;
+            scratch.acc[ui] = Some(acc);
+            scratch.fun[ui] = Some(alg.identity());
+            scratch.alive[ui] = true;
+            scratch.death[ui] = Death::None;
+            scratch.death_round[ui] = 0;
+        }
+
+        let outcome = scratch.contract(alg, dirty_list, *seed);
+        scratch.backsolve(alg, subtree);
+
+        let stats = UpdateStats {
+            dirty: dirty_list.len(),
+            total: n,
+            rounds: outcome.rounds,
+        };
+        for &u in dirty_list.iter() {
+            dirty[u as usize] = false;
+        }
+        dirty_list.clear();
+        stats
+    }
+}
+
+impl<A: Algebra> Clone for DynForest<A>
+where
+    A::Label: Clone,
+    A::Val: Clone,
+{
+    fn clone(&self) -> Self {
+        DynForest {
+            alg: self.alg.clone(),
+            forest: self.forest.clone(),
+            children: self.children.clone(),
+            child_slot: self.child_slot.clone(),
+            subtree: self.subtree.clone(),
+            dirty: self.dirty.clone(),
+            dirty_list: self.dirty_list.clone(),
+            scratch: Scratch::default(),
+            seed: self.seed,
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The rake/compress contraction engine.
+//!
+//! The engine runs classic Miller–Reif tree contraction over an explicit
+//! *active set* of nodes, which makes the same code path serve both full
+//! (static) contraction — active set = every node — and dirty-set
+//! re-contraction for batch-dynamic updates — active set = the nodes whose
+//! cached subtree values were invalidated.
+//!
+//! Each round proceeds in two phases:
+//!
+//! 1. **Plan** (read-only, parallelized when the `parallel` feature is on):
+//!    every live node inspects its local neighbourhood and picks one action:
+//!    * `Finish` — it is a childless root; its accumulator is its value.
+//!    * `Rake` — it is a childless non-root; fold its value into the parent.
+//!    * `Splice` — it proposes compressing its *parent* `v`: `v` is unary
+//!      (this node is the only child), `v` is not a root, `v` flipped heads
+//!      and `v`'s parent flipped tails this round. The coin condition is a
+//!      randomized independent set on chains: no two adjacent nodes are
+//!      spliced in the same round, so all planned actions commute.
+//! 2. **Apply** (sequential): execute the planned actions. Rake absorbs the
+//!    child's contribution into the parent accumulator; splice composes the
+//!    victim's unary function into the surviving edge and reattaches the
+//!    child to its grandparent.
+//!
+//! Every node death is stamped with its round and recorded in a trace
+//! (`Death`), forming the round-stamped contraction DAG. A reverse replay
+//! of the trace ([`Scratch::backsolve`]) recovers the final subtree value of
+//! *every* node, not just the roots — this is what lets the dynamic layer
+//! reuse cached values for clean subtrees.
+
+use crate::algebra::Algebra;
+use crate::arena::NONE;
+use crate::rng::coin;
+use crate::{par, NodeId};
+
+/// Hard cap on contraction rounds; with rake + randomized compress the
+/// expected round count is `O(log n)`, so hitting this indicates a bug.
+const MAX_ROUNDS: u32 = 10_000;
+
+/// Per-round action chosen by a live node during the plan phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Action {
+    #[default]
+    None,
+    /// Childless root: record its component value and retire it.
+    Finish,
+    /// Childless non-root: fold into the parent and retire.
+    Rake,
+    /// Splice out this node's (unary) parent.
+    Splice,
+}
+
+/// How a node left the contraction, with everything needed to backsolve its
+/// final subtree value.
+#[derive(Debug, Clone, Default)]
+pub(crate) enum Death<A: Algebra> {
+    /// Still alive (or never part of the active set).
+    #[default]
+    None,
+    /// Raked: the node's final value was already known at death.
+    Raked(A::Val),
+    /// Compressed: `val(self) = fun(val(child))`, where `child` strictly
+    /// outlives this node.
+    Compressed { child: u32, fun: A::Fun },
+    /// A root whose contraction finished; its value is the component value.
+    Root(A::Val),
+}
+
+/// Outcome of one engine run.
+pub(crate) struct RunOutcome<A: Algebra> {
+    /// `(root, component value)` for every component root in the active set.
+    pub components: Vec<(NodeId, A::Val)>,
+    /// Number of rake/compress rounds executed.
+    pub rounds: u32,
+}
+
+/// Reusable per-node working state, indexed by raw node id.
+///
+/// All vectors are sized to the forest; a run only reads and writes entries
+/// of its active set (plus their parents, which upward-closure guarantees
+/// are active too), so the scratch can be reused across runs without
+/// clearing.
+pub(crate) struct Scratch<A: Algebra> {
+    /// Working copy of parent pointers (mutated by splices).
+    pub par: Vec<u32>,
+    /// Live child count.
+    pub count: Vec<u32>,
+    /// Partial accumulator.
+    pub acc: Vec<Option<A::Acc>>,
+    /// Edge function towards the current parent.
+    pub fun: Vec<Option<A::Fun>>,
+    /// Liveness flag.
+    pub alive: Vec<bool>,
+    /// Death record per node.
+    pub death: Vec<Death<A>>,
+    /// Round stamp per death (1-based; 0 = untouched).
+    pub death_round: Vec<u32>,
+    /// Nodes in death order; reversing it yields a valid backsolve order.
+    pub death_order: Vec<u32>,
+}
+
+impl<A: Algebra> Default for Scratch<A> {
+    fn default() -> Self {
+        Scratch {
+            par: Vec::new(),
+            count: Vec::new(),
+            acc: Vec::new(),
+            fun: Vec::new(),
+            alive: Vec::new(),
+            death: Vec::new(),
+            death_round: Vec::new(),
+            death_order: Vec::new(),
+        }
+    }
+}
+
+impl<A: Algebra> Scratch<A> {
+    /// Grows all per-node tables to cover `n` nodes.
+    pub fn ensure(&mut self, n: usize) {
+        if self.par.len() < n {
+            self.par.resize(n, NONE);
+            self.count.resize(n, 0);
+            self.acc.resize(n, None);
+            self.fun.resize(n, None);
+            self.alive.resize(n, false);
+            self.death.resize_with(n, Death::default);
+            self.death_round.resize(n, 0);
+        }
+    }
+
+    /// Runs rake/compress rounds until every active node has died.
+    ///
+    /// Callers must have seeded `par`, `count`, `acc`, `fun`, `alive` and
+    /// reset `death`/`death_round` for every node in `active` beforehand.
+    pub fn contract(&mut self, alg: &A, active: &[u32], seed: u64) -> RunOutcome<A> {
+        self.death_order.clear();
+        let mut components = Vec::new();
+        let mut live: Vec<u32> = active.to_vec();
+        let mut actions: Vec<Action> = Vec::new();
+        let mut round = 0;
+
+        while !live.is_empty() {
+            round += 1;
+            assert!(
+                round <= MAX_ROUNDS,
+                "contraction failed to converge after {MAX_ROUNDS} rounds"
+            );
+
+            // Plan: pure reads of the pre-round state; each slot is owned by
+            // one node, so this parallelizes without synchronization.
+            actions.clear();
+            actions.resize(live.len(), Action::None);
+            {
+                let (par, count, live) = (&self.par, &self.count, &live[..]);
+                par::for_each_indexed(&mut actions, |i, slot| {
+                    *slot = decide(par, count, seed, round, live[i]);
+                });
+            }
+
+            // Apply: the coin condition guarantees all actions touch
+            // disjoint state, so any order is correct.
+            for (i, &action) in actions.iter().enumerate() {
+                let u = live[i];
+                match action {
+                    Action::None => {}
+                    Action::Finish => {
+                        let val = alg.finish(self.acc[u as usize].as_ref().unwrap());
+                        components.push((NodeId(u), val.clone()));
+                        self.kill(u, round, Death::Root(val));
+                    }
+                    Action::Rake => {
+                        let p = self.par[u as usize] as usize;
+                        let val = alg.finish(self.acc[u as usize].as_ref().unwrap());
+                        let contrib =
+                            alg.apply(self.fun[u as usize].as_ref().unwrap(), val.clone());
+                        alg.absorb(self.acc[p].as_mut().unwrap(), contrib);
+                        self.count[p] -= 1;
+                        self.kill(u, round, Death::Raked(val));
+                    }
+                    Action::Splice => {
+                        // `u` splices out its unary parent `v`, reattaching
+                        // itself to the grandparent. `g` maps val(u) to
+                        // val(v); the new edge maps val(u) to v's old
+                        // contribution at the grandparent.
+                        let v = self.par[u as usize];
+                        let gp = self.par[v as usize];
+                        let tf = alg.to_fun(self.acc[v as usize].as_ref().unwrap());
+                        let g = alg.compose(&tf, self.fun[u as usize].as_ref().unwrap());
+                        let new_fun = alg.compose(self.fun[v as usize].as_ref().unwrap(), &g);
+                        self.fun[u as usize] = Some(new_fun);
+                        self.par[u as usize] = gp;
+                        self.kill(v, round, Death::Compressed { child: u, fun: g });
+                    }
+                }
+            }
+
+            let alive = &self.alive;
+            live.retain(|&u| alive[u as usize]);
+        }
+
+        RunOutcome {
+            components,
+            rounds: round,
+        }
+    }
+
+    fn kill(&mut self, u: u32, round: u32, death: Death<A>) {
+        self.alive[u as usize] = false;
+        self.death[u as usize] = death;
+        self.death_round[u as usize] = round;
+        self.death_order.push(u);
+    }
+
+    /// Replays the death trace in reverse, writing the final subtree value
+    /// of every active node into `out`.
+    ///
+    /// Raked nodes and finished roots knew their value at death; a
+    /// compressed node's value is its recorded unary function applied to
+    /// the value of the child that outlived it — which, processed in
+    /// reverse death order, is always already solved.
+    pub fn backsolve(&self, alg: &A, out: &mut [Option<A::Val>]) {
+        for &u in self.death_order.iter().rev() {
+            let val = match &self.death[u as usize] {
+                Death::None => unreachable!("dead node without death record"),
+                Death::Raked(v) | Death::Root(v) => v.clone(),
+                Death::Compressed { child, fun } => {
+                    let child_val = out[*child as usize]
+                        .clone()
+                        .expect("compressed child solved before parent");
+                    alg.apply(fun, child_val)
+                }
+            };
+            out[u as usize] = Some(val);
+        }
+    }
+}
+
+/// Picks the action for live node `u` from the pre-round snapshot.
+///
+/// Compress eligibility is decided by the *child*: `u` proposes splicing its
+/// parent `v` when `v` is unary (so `u` is the only child), `v` has a
+/// grandparent to reattach to, `u` itself is not a leaf (leaves rake
+/// instead, and raking into a vanishing parent would race), and the
+/// heads/tails coin pair holds. The coins exclude adjacent splices: if `v`
+/// is spliced it flipped heads, so neither `v`'s parent (needs heads as a
+/// victim but flipped tails) nor `u` (its parent `v` would need tails) can
+/// be spliced in the same round.
+#[inline]
+fn decide(par: &[u32], count: &[u32], seed: u64, round: u32, u: u32) -> Action {
+    let p = par[u as usize];
+    if count[u as usize] == 0 {
+        return if p == NONE {
+            Action::Finish
+        } else {
+            Action::Rake
+        };
+    }
+    if p == NONE {
+        return Action::None;
+    }
+    let gp = par[p as usize];
+    if gp != NONE && count[p as usize] == 1 && coin(seed, round, p) && !coin(seed, round, gp) {
+        Action::Splice
+    } else {
+        Action::None
+    }
+}

@@ -1,0 +1,125 @@
+//! Deterministic forest generators for tests and benchmarks.
+
+use crate::algebra::{ExprLabel, ExprOp};
+use crate::arena::Forest;
+use crate::NodeId;
+
+pub use crate::rng::XorShift64;
+
+/// A path `0 → 1 → … → n-1` (node 0 is the root) with random weights.
+pub fn path(n: usize, seed: u64) -> Forest<i64> {
+    let mut rng = XorShift64::new(seed);
+    let mut f = Forest::with_capacity(n);
+    let mut prev: Option<NodeId> = None;
+    for _ in 0..n {
+        let w = rng.weight();
+        prev = Some(match prev {
+            None => f.add_root(w),
+            Some(p) => f.add_child(p, w),
+        });
+    }
+    f
+}
+
+/// A star: one root with `n - 1` direct children.
+pub fn star(n: usize, seed: u64) -> Forest<i64> {
+    let mut rng = XorShift64::new(seed);
+    let mut f = Forest::with_capacity(n);
+    if n == 0 {
+        return f;
+    }
+    let root = f.add_root(rng.weight());
+    for _ in 1..n {
+        let w = rng.weight();
+        f.add_child(root, w);
+    }
+    f
+}
+
+/// A caterpillar: a spine path where every spine node also has `legs`
+/// leaf children.
+pub fn caterpillar(spine: usize, legs: usize, seed: u64) -> Forest<i64> {
+    let mut rng = XorShift64::new(seed);
+    let mut f = Forest::with_capacity(spine * (legs + 1));
+    let mut prev: Option<NodeId> = None;
+    for _ in 0..spine {
+        let w = rng.weight();
+        let node = match prev {
+            None => f.add_root(w),
+            Some(p) => f.add_child(p, w),
+        };
+        for _ in 0..legs {
+            let lw = rng.weight();
+            f.add_child(node, lw);
+        }
+        prev = Some(node);
+    }
+    f
+}
+
+/// A random recursive tree: node `i > 0` attaches to a uniformly random
+/// earlier node, giving expected depth `O(log n)`.
+pub fn random_tree(n: usize, seed: u64) -> Forest<i64> {
+    random_forest(n, 1, seed)
+}
+
+/// Like [`random_tree`] but with `roots` independent components.
+///
+/// # Panics
+/// Panics if `n > 0` and `roots == 0` (a non-empty forest needs a root).
+pub fn random_forest(n: usize, roots: usize, seed: u64) -> Forest<i64> {
+    assert!(
+        roots > 0 || n == 0,
+        "random_forest: a non-empty forest needs at least one root"
+    );
+    let mut rng = XorShift64::new(seed);
+    let mut f = Forest::with_capacity(n);
+    for i in 0..n {
+        let w = rng.weight();
+        if i < roots {
+            f.add_root(w);
+        } else {
+            let p = NodeId(rng.below(i as u64) as u32);
+            f.add_child(p, w);
+        }
+    }
+    f
+}
+
+/// A random binary expression tree with `leaves` constant leaves and
+/// `leaves - 1` random `+`/`×` internal nodes (built iteratively, so deep
+/// shapes are fine).
+pub fn random_expr(leaves: usize, seed: u64) -> Forest<ExprLabel> {
+    let mut rng = XorShift64::new(seed);
+    let mut f = Forest::with_capacity(leaves.saturating_mul(2));
+    if leaves == 0 {
+        return f;
+    }
+    let mut stack: Vec<(Option<NodeId>, usize)> = vec![(None, leaves)];
+    while let Some((parent, k)) = stack.pop() {
+        if k == 1 {
+            // Small constants keep intermediate products meaningful even
+            // though all arithmetic wraps.
+            let v = rng.below(7) as i64 - 3;
+            let label = ExprLabel::Leaf(v);
+            match parent {
+                None => f.add_root(label),
+                Some(p) => f.add_child(p, label),
+            };
+        } else {
+            let op = if rng.below(2) == 0 {
+                ExprOp::Add
+            } else {
+                ExprOp::Mul
+            };
+            let node = match parent {
+                None => f.add_root(ExprLabel::Op(op)),
+                Some(p) => f.add_child(p, ExprLabel::Op(op)),
+            };
+            let left = 1 + rng.below((k - 1) as u64) as usize;
+            stack.push((Some(node), left));
+            stack.push((Some(node), k - left));
+        }
+    }
+    f
+}

@@ -1,1 +1,58 @@
-pub fn placeholder() {}
+//! Dynamic parallel tree contraction (Reif–Tate, SPAA 1994).
+//!
+//! This crate implements Miller–Reif tree contraction — alternating **rake**
+//! (fold leaves into their parents) and randomized **compress** (splice out
+//! unary chain nodes) — over an arena-allocated [`Forest`] of `u32`-indexed
+//! nodes, and layers a **batch-dynamic** update API on top: the contraction
+//! records a round-stamped trace, cached subtree values are recovered for
+//! every node by backsolving the trace, and batches of
+//! [`cut`](DynForest::batch_cut) / [`link`](DynForest::batch_link) /
+//! [`weight`](DynForest::batch_update_weights) edits re-run contraction only
+//! on the dirty set.
+//!
+//! Value semantics are pluggable through the [`Algebra`] trait; two
+//! workloads ship built in and double as correctness oracles against
+//! [`Forest::sequential_fold`]:
+//!
+//! * [`SubtreeSum`] — weighted subtree sums;
+//! * [`ExprEval`] — `+`/`×` expression-tree evaluation via affine function
+//!   composition.
+//!
+//! The per-round planning phase is parallelized with scoped threads behind
+//! the `parallel` feature (dependency-free; see `par.rs`).
+//!
+//! ```
+//! use dtc_core::{DynForest, Forest, SubtreeSum};
+//!
+//! let mut f = Forest::new();
+//! let root = f.add_root(1i64);
+//! let mid = f.add_child(root, 2);
+//! let leaf = f.add_child(mid, 3);
+//!
+//! // Static contraction.
+//! assert_eq!(*f.contract(&SubtreeSum).subtree_value(root), 6);
+//!
+//! // Batch-dynamic updates.
+//! let mut d = DynForest::new(f, SubtreeSum);
+//! d.batch_update_weights(&[(leaf, 30)]);
+//! let stats = d.recompute();
+//! assert_eq!(*d.subtree_value(root), 33);
+//! assert!(stats.dirty <= 3);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod algebra;
+mod arena;
+mod contract;
+mod dynamic;
+mod engine;
+pub mod gen;
+mod par;
+mod rng;
+
+pub use algebra::{Affine, Algebra, ExprAcc, ExprEval, ExprLabel, ExprOp, SubtreeSum};
+pub use arena::{Forest, NodeId};
+pub use contract::Contraction;
+pub use dynamic::{DynForest, UpdateStats};

@@ -1,0 +1,71 @@
+//! Parallel-for substrate for the planning phase.
+//!
+//! With the `parallel` feature enabled, [`for_each_indexed`] fans the slice
+//! out over `std::thread::scope` in contiguous chunks; without it, the same
+//! signature runs sequentially. The substrate is deliberately minimal and
+//! dependency-free so the crate builds offline; swapping in a rayon-backed
+//! implementation later only touches this module.
+
+/// Minimum slice length worth spawning threads for.
+#[cfg(feature = "parallel")]
+const PAR_THRESHOLD: usize = 4096;
+
+/// Applies `f(i, &mut data[i])` for every index of `data`.
+///
+/// The closure must be safe to run concurrently on disjoint elements; each
+/// element is visited exactly once.
+#[cfg(feature = "parallel")]
+pub(crate) fn for_each_indexed<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let len = data.len();
+    if threads <= 1 || len < PAR_THRESHOLD {
+        for (i, t) in data.iter_mut().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ci, chunk_slice) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = ci * chunk;
+                for (j, t) in chunk_slice.iter_mut().enumerate() {
+                    f(base + j, t);
+                }
+            });
+        }
+    });
+}
+
+/// Sequential fallback with the same signature as the parallel version.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn for_each_indexed<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    for (i, t) in data.iter_mut().enumerate() {
+        f(i, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visits_every_index_once() {
+        let mut data = vec![0usize; 10_000];
+        for_each_indexed(&mut data, |i, slot| *slot = i + 1);
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i + 1);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Small deterministic PRNG helpers (no external crates).
+
+/// SplitMix64 finalizer — a strong 64-bit mixer.
+#[inline]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-(seed, round, node) coin flip used by the compress step.
+///
+/// Stateless: every node can evaluate its own coin and its neighbours'
+/// coins in the same round without communication, which is what makes the
+/// randomized independent-set selection embarrassingly parallel.
+#[inline]
+pub(crate) fn coin(seed: u64, round: u32, node: u32) -> bool {
+    splitmix64(seed ^ ((round as u64) << 34) ^ node as u64) & 1 == 1
+}
+
+/// Tiny xorshift64* generator for test/bench data generation.
+///
+/// Deterministic and dependency-free; re-exported as
+/// [`gen::XorShift64`](crate::gen::XorShift64) so tests and benches can
+/// share it instead of rolling their own.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from `seed` (any value, including 0, is fine).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: splitmix64(seed) | 1,
+        }
+    }
+
+    /// Next pseudorandom 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish value in `0..bound`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below: bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// Small signed weight in `-1000..=1000`.
+    #[inline]
+    pub fn weight(&mut self) -> i64 {
+        self.below(2001) as i64 - 1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coin_is_deterministic() {
+        assert_eq!(coin(1, 2, 3), coin(1, 2, 3));
+    }
+
+    #[test]
+    fn xorshift_is_not_constant() {
+        let mut r = XorShift64::new(42);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, b);
+    }
+}

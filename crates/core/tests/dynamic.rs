@@ -1,0 +1,225 @@
+//! Batch-dynamic update tests: correctness against the sequential oracle
+//! and dirty-set locality (re-contraction must not touch the whole forest).
+
+use dtc_core::gen::{self, XorShift64};
+use dtc_core::{DynForest, ExprEval, ExprLabel, Forest, NodeId, SubtreeSum};
+
+fn assert_matches_oracle(d: &DynForest<SubtreeSum>, context: &str) {
+    let oracle = d.forest().sequential_fold(&SubtreeSum);
+    for v in d.forest().node_ids() {
+        assert_eq!(
+            d.subtree_value(v),
+            &oracle[v.index()],
+            "{context}: mismatch at {v}"
+        );
+    }
+}
+
+#[test]
+fn initial_contraction_matches_static() {
+    let f = gen::random_tree(5_000, 21);
+    let stat = f.contract(&SubtreeSum);
+    let d = DynForest::new(f, SubtreeSum);
+    for v in d.forest().node_ids() {
+        assert_eq!(d.subtree_value(v), stat.subtree_value(v));
+    }
+}
+
+#[test]
+fn fuzz_cut_link_update_against_oracle() {
+    let mut rng = XorShift64::new(0xFEED_F00D);
+    let n = 400u64;
+    let mut d = DynForest::new(gen::random_tree(n as usize, 33), SubtreeSum);
+
+    for step in 0..120 {
+        let v = NodeId::from_index(rng.below(n) as usize);
+        match rng.below(3) {
+            0 => {
+                // Cut, unless v is already a root.
+                if !d.forest().is_root(v) {
+                    d.batch_cut(&[v]);
+                }
+            }
+            1 => {
+                // Link some root under a node outside its subtree.
+                let root = d.root_of(v);
+                let target = NodeId::from_index(rng.below(n) as usize);
+                if d.root_of(target) != root {
+                    d.batch_link(&[(root, target)]);
+                }
+            }
+            _ => {
+                let w = rng.weight();
+                d.batch_update_weights(&[(v, w)]);
+            }
+        }
+        let stats = d.recompute();
+        assert!(stats.dirty <= stats.total);
+        assert_matches_oracle(&d, &format!("fuzz step {step}"));
+    }
+}
+
+#[test]
+fn batch_of_mixed_ops_in_one_recompute() {
+    let mut rng = XorShift64::new(77);
+    let n = 2_000usize;
+    let mut d = DynForest::new(gen::random_tree(n, 5), SubtreeSum);
+
+    let mut cuts = Vec::new();
+    let mut updates = Vec::new();
+    for i in 0..200 {
+        let v = NodeId::from_index(1 + rng.below((n - 1) as u64) as usize);
+        if i % 2 == 0 && !d.forest().is_root(v) && !cuts.contains(&v) {
+            cuts.push(v);
+        } else {
+            updates.push((v, i as i64));
+        }
+    }
+    d.batch_cut(&cuts);
+    d.batch_update_weights(&updates);
+    let stats = d.recompute();
+    assert!(stats.dirty > 0 && stats.dirty < stats.total);
+    assert_matches_oracle(&d, "mixed batch");
+}
+
+#[test]
+fn thousand_edge_cut_link_round_trip_is_incremental() {
+    let n = 100_000usize;
+    let forest = gen::random_tree(n, 1234);
+    let original = forest.contract(&SubtreeSum);
+    let mut d = DynForest::new(forest, SubtreeSum);
+
+    // Pick 1k distinct non-root nodes and remember their parents.
+    let mut rng = XorShift64::new(0xC0FFEE);
+    let mut cuts: Vec<NodeId> = Vec::new();
+    let mut seen = vec![false; n];
+    while cuts.len() < 1_000 {
+        let v = NodeId::from_index(1 + rng.below((n - 1) as u64) as usize);
+        if !seen[v.index()] {
+            seen[v.index()] = true;
+            cuts.push(v);
+        }
+    }
+    let parents: Vec<NodeId> = cuts
+        .iter()
+        .map(|&v| d.forest().parent(v).expect("non-root"))
+        .collect();
+
+    d.batch_cut(&cuts);
+    assert!(d.pending() > 0);
+    let stats = d.recompute();
+    assert!(
+        stats.dirty < stats.total,
+        "cut batch must not recompute the whole forest ({} vs {})",
+        stats.dirty,
+        stats.total
+    );
+    assert_eq!(d.forest().roots().count(), 1 + cuts.len());
+    assert_matches_oracle(&d, "after 1k cuts");
+
+    // Link everything back; the structure (and therefore every subtree
+    // value) must return to the original contraction.
+    let links: Vec<(NodeId, NodeId)> = cuts.iter().copied().zip(parents).collect();
+    d.batch_link(&links);
+    let stats = d.recompute();
+    assert!(
+        stats.dirty < stats.total,
+        "link batch must not recompute the whole forest ({} vs {})",
+        stats.dirty,
+        stats.total
+    );
+    assert_eq!(d.forest().roots().count(), 1);
+    for v in d.forest().node_ids() {
+        assert_eq!(d.subtree_value(v), original.subtree_value(v));
+    }
+}
+
+#[test]
+fn weight_update_batch_is_incremental() {
+    let n = 100_000usize;
+    let mut d = DynForest::new(gen::random_tree(n, 99), SubtreeSum);
+    let updates: Vec<(NodeId, i64)> = (0..500)
+        .map(|i| (NodeId::from_index(i * 199 + 1), i as i64))
+        .collect();
+    d.batch_update_weights(&updates);
+    let stats = d.recompute();
+    assert!(stats.dirty > 0 && stats.dirty < stats.total);
+    assert_matches_oracle(&d, "weight updates");
+}
+
+#[test]
+fn expression_leaf_updates() {
+    let f = gen::random_expr(5_000, 64);
+    let leaves: Vec<NodeId> = f
+        .node_ids()
+        .filter(|&v| matches!(f.label(v), ExprLabel::Leaf(_)))
+        .collect();
+    let mut d = DynForest::new(f, ExprEval);
+
+    let updates: Vec<(NodeId, ExprLabel)> = leaves
+        .iter()
+        .step_by(17)
+        .enumerate()
+        .map(|(i, &v)| (v, ExprLabel::Leaf((i % 5) as i64 - 2)))
+        .collect();
+    d.batch_update_weights(&updates);
+    let stats = d.recompute();
+    assert!(stats.dirty < stats.total);
+
+    let oracle = d.forest().sequential_fold(&ExprEval);
+    for v in d.forest().node_ids() {
+        assert_eq!(d.subtree_value(v), &oracle[v.index()], "expr at {v}");
+    }
+}
+
+#[test]
+fn star_cut_batch_under_high_degree_node() {
+    // Cutting many children of one very high-degree node exercises the
+    // O(1) child-slot removal path; with a linear scan this would be
+    // quadratic in the batch size.
+    let n = 100_000usize;
+    let f = gen::star(n, 12);
+    let mut d = DynForest::new(f, SubtreeSum);
+    let root = d.root_of(NodeId::from_index(1));
+    let cuts: Vec<NodeId> = (1..=20_000).map(NodeId::from_index).collect();
+    d.batch_cut(&cuts);
+    let stats = d.recompute();
+    assert!(stats.dirty < stats.total);
+    assert_matches_oracle(&d, "star cuts");
+    // And link a few back.
+    d.batch_link(&cuts[..100].iter().map(|&v| (v, root)).collect::<Vec<_>>());
+    d.recompute();
+    assert_matches_oracle(&d, "star relink");
+}
+
+#[test]
+fn noop_recompute_is_free() {
+    let mut d = DynForest::new(gen::random_tree(1_000, 3), SubtreeSum);
+    let stats = d.recompute();
+    assert_eq!(stats.dirty, 0);
+    assert_eq!(stats.rounds, 0);
+}
+
+#[test]
+#[should_panic(expected = "pending updates")]
+fn reading_a_dirty_node_panics() {
+    let mut f = Forest::new();
+    let r = f.add_root(1i64);
+    let mut d = DynForest::new(f, SubtreeSum);
+    d.batch_update_weights(&[(r, 2)]);
+    let _ = d.subtree_value(r);
+}
+
+#[test]
+#[should_panic(expected = "inside child's subtree")]
+fn linking_under_own_subtree_panics() {
+    let mut f = Forest::new();
+    let r = f.add_root(1i64);
+    let a = f.add_child(r, 2);
+    let mut d = DynForest::new(f, SubtreeSum);
+    d.batch_cut(&[a]);
+    d.recompute();
+    let _ = r;
+    // `a` is now a root; linking it under its own subtree (itself) must panic.
+    d.batch_link(&[(a, a)]);
+}

@@ -1,0 +1,105 @@
+//! Property tests: contraction must agree with the sequential fold oracle
+//! on every node of every shape, under any coin seed.
+
+use dtc_core::gen;
+use dtc_core::{Algebra, ExprEval, Forest, SubtreeSum};
+
+fn check_against_oracle<A>(name: &str, forest: &Forest<A::Label>, alg: &A, seed: u64)
+where
+    A: Algebra,
+    A::Val: PartialEq + std::fmt::Debug,
+{
+    let contraction = forest.contract_seeded(alg, seed);
+    let oracle = forest.sequential_fold(alg);
+    for v in forest.node_ids() {
+        assert_eq!(
+            contraction.subtree_value(v),
+            &oracle[v.index()],
+            "{name}: mismatch at {v} (seed {seed})"
+        );
+    }
+    // Component aggregates are the root subtree values.
+    let mut seen_roots = 0;
+    for (root, val) in contraction.components() {
+        assert!(forest.is_root(*root), "{name}: component root {root}");
+        assert_eq!(val, &oracle[root.index()], "{name}: component at {root}");
+        seen_roots += 1;
+    }
+    assert_eq!(
+        seen_roots,
+        forest.roots().count(),
+        "{name}: one component per root"
+    );
+    // Every node must carry a round stamp.
+    for v in forest.node_ids() {
+        assert!(
+            contraction.death_round(v) >= 1,
+            "{name}: {v} has no round stamp"
+        );
+    }
+}
+
+#[test]
+fn sum_matches_oracle_on_random_trees() {
+    for &n in &[1usize, 2, 3, 10, 100, 1_000, 10_000] {
+        for seed in 1..=3u64 {
+            let f = gen::random_tree(n, seed);
+            check_against_oracle(&format!("random_tree({n})"), &f, &SubtreeSum, seed);
+        }
+    }
+}
+
+#[test]
+fn sum_matches_oracle_on_paths_stars_caterpillars() {
+    for &n in &[2usize, 17, 256, 4_000] {
+        check_against_oracle(&format!("path({n})"), &gen::path(n, 9), &SubtreeSum, 1);
+        check_against_oracle(&format!("star({n})"), &gen::star(n, 9), &SubtreeSum, 1);
+    }
+    for &(spine, legs) in &[(1usize, 5usize), (50, 3), (500, 2)] {
+        let f = gen::caterpillar(spine, legs, 11);
+        check_against_oracle(&format!("caterpillar({spine},{legs})"), &f, &SubtreeSum, 1);
+    }
+}
+
+#[test]
+fn sum_matches_oracle_on_100k_random_tree() {
+    let n = 100_000;
+    let f = gen::random_tree(n, 4242);
+    let contraction = f.contract(&SubtreeSum);
+    let oracle = f.sequential_fold(&SubtreeSum);
+    assert_eq!(contraction.values(), &oracle[..]);
+    // Rake + randomized compress finishes in O(log n) rounds w.h.p.
+    assert!(
+        contraction.rounds() < 200,
+        "too many rounds: {}",
+        contraction.rounds()
+    );
+}
+
+#[test]
+fn sum_matches_oracle_on_forests() {
+    for &(n, roots) in &[(100usize, 7usize), (5_000, 100), (1_000, 1_000)] {
+        let f = gen::random_forest(n, roots, 5);
+        check_against_oracle(&format!("random_forest({n},{roots})"), &f, &SubtreeSum, 2);
+    }
+}
+
+#[test]
+fn expr_matches_oracle_on_random_trees() {
+    for &leaves in &[1usize, 2, 5, 64, 1_000, 20_000] {
+        for seed in 1..=3u64 {
+            let f = gen::random_expr(leaves, seed);
+            check_against_oracle(&format!("random_expr({leaves})"), &f, &ExprEval, seed);
+        }
+    }
+}
+
+#[test]
+fn result_is_seed_independent() {
+    let f = gen::random_tree(2_000, 77);
+    let reference = f.contract_seeded(&SubtreeSum, 0);
+    for seed in 1..=10u64 {
+        let c = f.contract_seeded(&SubtreeSum, seed);
+        assert_eq!(c.values(), reference.values(), "seed {seed}");
+    }
+}
