@@ -1,53 +1,177 @@
-//! Contraction and batch-dynamic update benchmarks.
+//! Contraction and batch-dynamic update benchmarks, broken down by tree
+//! shape so depth/degree sensitivity is visible in the numbers.
+//!
+//! Shapes (all ~100k nodes): `random` (O(log n) depth), `path` (worst-case
+//! depth), `star` (worst-case degree), `caterpillar` (deep spine + legs).
+//! Each shape is exercised three ways: full contraction, a 1k batch of
+//! cuts, and a 1k batch of weight updates.
 //!
 //! Run with `cargo bench -p dtc-bench`, or `cargo bench -p dtc-bench --
-//! --test` for the CI smoke mode (each bench executes once).
+//! --test` for the CI smoke mode (each bench executes once). Add
+//! `--json BENCH_contract.json` to emit the machine-readable perf record —
+//! timing percentiles plus per-round engine counters from a profiled run —
+//! that seeds the repo's perf trajectory.
 
-use dtc_bench::Harness;
+use dtc_bench::{Harness, Json};
 use dtc_core::gen;
+use dtc_core::obs::{Phase, Profile};
 use dtc_core::{DynForest, Forest, NodeId, SubtreeSum};
+
+/// A named lazy forest generator.
+type Shape = (&'static str, Box<dyn Fn() -> Forest<i64>>);
+
+/// The four shape generators of the breakdown matrix.
+fn shapes() -> Vec<Shape> {
+    vec![
+        (
+            "random_100k",
+            Box::new(|| gen::random_tree(100_000, 42)) as _,
+        ),
+        ("path_100k", Box::new(|| gen::path(100_000, 42)) as _),
+        ("star_100k", Box::new(|| gen::star(100_000, 42)) as _),
+        (
+            "caterpillar_100k",
+            Box::new(|| gen::caterpillar(20_000, 4, 42)) as _,
+        ),
+    ]
+}
 
 fn main() {
     let h = Harness::from_env();
 
-    bench_contract(&h, "contract/random_10k", || gen::random_tree(10_000, 42));
-    bench_contract(&h, "contract/random_100k", || gen::random_tree(100_000, 42));
-    bench_contract(&h, "contract/path_100k", || gen::path(100_000, 42));
-    bench_contract(&h, "contract/caterpillar_100k", || {
-        gen::caterpillar(20_000, 4, 42)
-    });
+    bench_contract(&h, "contract/random_10k", &|| gen::random_tree(10_000, 42));
+    for (shape, make) in shapes() {
+        bench_contract(&h, &format!("contract/{shape}"), make.as_ref());
+    }
 
-    // Batch of 1k cuts against a 100k-node random tree: the state is built
-    // once and cloned per iteration so only cut + recompute are measured
+    // Batches of 1k edits against each ~100k-node shape: the state is built
+    // once and cloned per iteration so only edit + recompute are measured
     // (clone cost is part of setup, which the harness excludes).
-    let base = DynForest::new(gen::random_tree(100_000, 7), SubtreeSum);
-    let cuts: Vec<NodeId> = base
-        .forest()
-        .node_ids()
-        .filter(|v| !base.forest().is_root(*v))
-        .step_by(97)
-        .take(1_000)
-        .collect();
-    h.bench(
-        "dynamic/batch_cut_1k",
-        || base.clone(),
-        |d| {
-            d.batch_cut(&cuts);
-            d.recompute()
-        },
-    );
+    for (shape, make) in shapes() {
+        let base = DynForest::new(make(), SubtreeSum);
+        let cuts: Vec<NodeId> = base
+            .forest()
+            .node_ids()
+            .filter(|v| !base.forest().is_root(*v))
+            .step_by(97)
+            .take(1_000)
+            .collect();
+        let updates: Vec<(NodeId, i64)> = cuts.iter().map(|&v| (v, 1)).collect();
 
-    let updates: Vec<(NodeId, i64)> = cuts.iter().map(|&v| (v, 1)).collect();
-    h.bench(
-        "dynamic/batch_update_1k",
-        || base.clone(),
-        |d| {
-            d.batch_update_weights(&updates);
-            d.recompute()
-        },
-    );
+        let name = format!("batch_cut_1k/{shape}");
+        if h.selected(&name) {
+            h.bench(
+                &name,
+                || base.clone(),
+                |d| {
+                    d.batch_cut(&cuts);
+                    d.recompute()
+                },
+            );
+            let mut probe = base.clone();
+            probe.enable_profiling();
+            probe.batch_cut(&cuts);
+            let stats = probe.recompute();
+            attach_dyn_report(&h, &name, &stats.to_string(), probe.profile().unwrap());
+        }
+
+        let name = format!("batch_update_1k/{shape}");
+        if h.selected(&name) {
+            h.bench(
+                &name,
+                || base.clone(),
+                |d| {
+                    d.batch_update_weights(&updates);
+                    d.recompute()
+                },
+            );
+            let mut probe = base.clone();
+            probe.enable_profiling();
+            probe.batch_update_weights(&updates);
+            let stats = probe.recompute();
+            attach_dyn_report(&h, &name, &stats.to_string(), probe.profile().unwrap());
+        }
+    }
+
+    h.finish();
 }
 
-fn bench_contract(h: &Harness, name: &str, mut make: impl FnMut() -> Forest<i64>) {
-    h.bench(name, &mut make, |f| f.contract(&SubtreeSum).rounds());
+fn bench_contract(h: &Harness, name: &str, make: &dyn Fn() -> Forest<i64>) {
+    if !h.selected(name) {
+        return;
+    }
+    h.bench(name, make, |f| f.contract(&SubtreeSum).rounds());
+    // Engine counters come from one profiled run outside the measured
+    // region, so the timed numbers above stay unobserved.
+    let contraction = make().contract_profiled(&SubtreeSum, 0x5EED);
+    attach_profile(h, name, contraction.profile().unwrap());
+}
+
+/// Attaches counter totals, phase latency percentiles, and the per-round
+/// breakdown of `profile` to the benchmark record named `name`.
+fn attach_profile(h: &Harness, name: &str, profile: &Profile) {
+    let totals = profile.totals();
+    h.attach(
+        name,
+        "counters",
+        Json::Obj(vec![
+            ("rounds".to_string(), Json::num(totals.rounds)),
+            ("rakes".to_string(), Json::Num(totals.rakes as f64)),
+            ("splices".to_string(), Json::Num(totals.splices as f64)),
+            ("finishes".to_string(), Json::Num(totals.finishes as f64)),
+            (
+                "coin_rejections".to_string(),
+                Json::Num(totals.coin_rejections as f64),
+            ),
+            (
+                "max_frontier".to_string(),
+                Json::Num(totals.max_frontier as f64),
+            ),
+        ]),
+    );
+    let phases: Vec<(String, Json)> = Phase::ALL
+        .iter()
+        .filter(|p| profile.phase_stats(**p).spans() > 0)
+        .map(|p| {
+            let s = profile.phase_stats(*p);
+            (
+                p.name().to_string(),
+                Json::Obj(vec![
+                    ("spans".to_string(), Json::Num(s.spans() as f64)),
+                    ("total_ns".to_string(), Json::Num(s.total_ns() as f64)),
+                    ("p50_ns".to_string(), Json::Num(s.p50_ns() as f64)),
+                    ("p99_ns".to_string(), Json::Num(s.p99_ns() as f64)),
+                ]),
+            )
+        })
+        .collect();
+    h.attach(name, "phases", Json::Obj(phases));
+    let per_round: Vec<Json> = profile
+        .per_round()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            Json::Obj(vec![
+                ("round".to_string(), Json::num((i + 1) as u32)),
+                ("frontier".to_string(), Json::Num(r.frontier as f64)),
+                ("rakes".to_string(), Json::Num(r.rakes as f64)),
+                ("splices".to_string(), Json::Num(r.splices as f64)),
+                ("finishes".to_string(), Json::Num(r.finishes as f64)),
+                (
+                    "coin_rejections".to_string(),
+                    Json::Num(r.coin_rejections as f64),
+                ),
+            ])
+        })
+        .collect();
+    h.attach(name, "per_round", Json::Arr(per_round));
+}
+
+/// Like [`attach_profile`], plus the human-readable [`UpdateStats`] line
+/// (which records the dirty-set size for the batch).
+///
+/// [`UpdateStats`]: dtc_core::UpdateStats
+fn attach_dyn_report(h: &Harness, name: &str, stats_line: &str, profile: &Profile) {
+    h.attach(name, "update_stats", Json::str(stats_line));
+    attach_profile(h, name, profile);
 }

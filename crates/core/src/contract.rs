@@ -3,7 +3,9 @@
 use crate::algebra::Algebra;
 use crate::arena::{Forest, NONE};
 use crate::engine::Scratch;
+use crate::obs::{NoopSink, Phase, Profile, Sink};
 use crate::NodeId;
+use std::time::Instant;
 
 /// Result of contracting a whole forest: final subtree values for every
 /// node, per-component aggregates, and the round-stamped trace.
@@ -12,6 +14,7 @@ pub struct Contraction<A: Algebra> {
     components: Vec<(NodeId, A::Val)>,
     rounds: u32,
     death_round: Vec<u32>,
+    profile: Option<Box<Profile>>,
 }
 
 impl<A: Algebra> Contraction<A> {
@@ -39,6 +42,12 @@ impl<A: Algebra> Contraction<A> {
     /// in the contraction DAG.
     pub fn death_round(&self, v: NodeId) -> u32 {
         self.death_round[v.index()]
+    }
+
+    /// Telemetry report collected during the contraction, present only when
+    /// the forest was contracted via [`Forest::contract_profiled`].
+    pub fn profile(&self) -> Option<&Profile> {
+        self.profile.as_deref()
     }
 }
 
@@ -72,6 +81,42 @@ impl<L> Forest<L> {
     where
         A: Algebra<Label = L>,
     {
+        self.contract_with(alg, seed, &mut NoopSink)
+    }
+
+    /// Like [`Forest::contract_seeded`], but also collects a full
+    /// [`Profile`] — phase latency histograms and per-round counters —
+    /// available afterwards via [`Contraction::profile`].
+    ///
+    /// ```
+    /// use dtc_core::{gen, SubtreeSum};
+    /// let f = gen::random_tree(1_000, 1);
+    /// let c = f.contract_profiled(&SubtreeSum, 0x5EED);
+    /// let prof = c.profile().unwrap();
+    /// assert_eq!(prof.total_retired(), 1_000);
+    /// assert_eq!(prof.max_rounds(), c.rounds());
+    /// ```
+    pub fn contract_profiled<A>(&self, alg: &A, seed: u64) -> Contraction<A>
+    where
+        A: Algebra<Label = L>,
+    {
+        let mut profile = Box::<Profile>::default();
+        let mut c = self.contract_with(alg, seed, profile.as_mut());
+        c.profile = Some(profile);
+        c
+    }
+
+    /// Contracts the whole forest, streaming telemetry into `sink`.
+    ///
+    /// This is the generic entry point behind [`Forest::contract_seeded`]
+    /// (no-op sink) and [`Forest::contract_profiled`] ([`Profile`] sink);
+    /// pass any custom [`Sink`] to receive phase spans and per-round
+    /// counters with static dispatch.
+    pub fn contract_with<A, S>(&self, alg: &A, seed: u64, sink: &mut S) -> Contraction<A>
+    where
+        A: Algebra<Label = L>,
+        S: Sink,
+    {
         let n = self.len();
         let mut scratch: Scratch<A> = Scratch::default();
         scratch.ensure(n);
@@ -90,10 +135,18 @@ impl<L> Forest<L> {
         }
 
         let active: Vec<u32> = (0..n as u32).collect();
-        let outcome = scratch.contract(alg, &active, seed);
+        let outcome = scratch.contract_with(alg, &active, seed, sink);
 
         let mut out: Vec<Option<A::Val>> = vec![None; n];
+        let backsolve_start = if S::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        };
         scratch.backsolve(alg, &mut out);
+        if let Some(t) = backsolve_start {
+            sink.phase(Phase::Backsolve, t.elapsed().as_nanos() as u64);
+        }
         let vals = out
             .into_iter()
             .map(|v| v.expect("every node contracted"))
@@ -104,6 +157,7 @@ impl<L> Forest<L> {
             components: outcome.components,
             rounds: outcome.rounds,
             death_round: scratch.death_round,
+            profile: None,
         }
     }
 

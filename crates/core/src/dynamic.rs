@@ -26,8 +26,11 @@
 use crate::algebra::Algebra;
 use crate::arena::{Forest, NONE};
 use crate::engine::{Death, Scratch};
+use crate::obs::{EngineCounters, NoopSink, Phase, Profile};
 use crate::rng::splitmix64;
 use crate::NodeId;
+use std::fmt;
+use std::time::Instant;
 
 /// Statistics returned by [`DynForest::recompute`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +41,28 @@ pub struct UpdateStats {
     pub total: usize,
     /// Rake/compress rounds the re-contraction took.
     pub rounds: u32,
+    /// Per-run engine counters (rakes/splices/finishes/coin rejections and
+    /// peak frontier) for this recompute; `Some` only when profiling is
+    /// enabled via [`DynForest::enable_profiling`].
+    pub counters: Option<EngineCounters>,
+}
+
+impl fmt::Display for UpdateStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recomputed {} of {} nodes in {} rounds",
+            self.dirty, self.total, self.rounds
+        )?;
+        if let Some(c) = &self.counters {
+            write!(
+                f,
+                " ({} rakes, {} splices, {} finishes, {} coin rejections, peak frontier {})",
+                c.rakes, c.splices, c.finishes, c.coin_rejections, c.max_frontier
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// A forest supporting batch-dynamic edits with incremental re-contraction.
@@ -78,6 +103,9 @@ pub struct DynForest<A: Algebra> {
     dirty_list: Vec<u32>,
     scratch: Scratch<A>,
     seed: u64,
+    /// Telemetry collector; `Some` once profiling is enabled. Boxed so the
+    /// common unprofiled forest stays small.
+    profile: Option<Box<Profile>>,
 }
 
 impl<A: Algebra> DynForest<A> {
@@ -106,9 +134,40 @@ impl<A: Algebra> DynForest<A> {
             dirty_list: (0..n as u32).collect(),
             scratch: Scratch::default(),
             seed,
+            profile: None,
         };
         d.recompute();
         d
+    }
+
+    /// Turns on telemetry collection: every subsequent batch edit and
+    /// [`DynForest::recompute`] reports dirty-mark / plan / apply /
+    /// backsolve spans and per-round counters into an internal
+    /// [`Profile`], and [`UpdateStats::counters`] becomes `Some`.
+    ///
+    /// Idempotent; an already-collected profile is kept. The unprofiled
+    /// default pays zero overhead (the engine is compiled with a no-op
+    /// sink on that path).
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::default());
+        }
+    }
+
+    /// `true` once [`DynForest::enable_profiling`] has been called.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// The accumulated telemetry report, if profiling is enabled.
+    pub fn profile(&self) -> Option<&Profile> {
+        self.profile.as_deref()
+    }
+
+    /// Detaches and returns the accumulated profile, turning profiling
+    /// back off.
+    pub fn take_profile(&mut self) -> Option<Profile> {
+        self.profile.take().map(|p| *p)
     }
 
     /// Read access to the underlying forest shape.
@@ -193,6 +252,7 @@ impl<A: Algebra> DynForest<A> {
     /// # Panics
     /// Panics if a node is already a root.
     pub fn batch_cut(&mut self, cuts: &[NodeId]) {
+        let mark_start = self.profile.as_ref().map(|_| Instant::now());
         for &v in cuts {
             let p = self.forest.parent_raw(v.raw());
             assert!(p != NONE, "batch_cut({v}): node is already a root");
@@ -206,6 +266,7 @@ impl<A: Algebra> DynForest<A> {
             self.forest.set_parent_raw(v.raw(), NONE);
             self.mark_path_dirty(p);
         }
+        self.record_dirty_mark(mark_start);
     }
 
     /// Links each `(child, parent)` pair, attaching the tree rooted at
@@ -223,6 +284,7 @@ impl<A: Algebra> DynForest<A> {
     /// Panics if `child` is not a root, or if `parent` lies inside
     /// `child`'s own subtree (which would create a cycle).
     pub fn batch_link(&mut self, links: &[(NodeId, NodeId)]) {
+        let mark_start = self.profile.as_ref().map(|_| Instant::now());
         for &(child, parent) in links {
             assert!(
                 self.forest.is_root(child),
@@ -237,13 +299,23 @@ impl<A: Algebra> DynForest<A> {
             self.forest.set_parent_raw(child.raw(), parent.raw());
             self.mark_path_dirty(parent.raw());
         }
+        self.record_dirty_mark(mark_start);
     }
 
     /// Replaces the labels (weights/operators) of the given nodes.
     pub fn batch_update_weights(&mut self, updates: &[(NodeId, A::Label)]) {
+        let mark_start = self.profile.as_ref().map(|_| Instant::now());
         for (v, label) in updates {
             self.forest.set_label(*v, label.clone());
             self.mark_path_dirty(v.raw());
+        }
+        self.record_dirty_mark(mark_start);
+    }
+
+    /// Closes a dirty-mark span opened at the top of a batch edit.
+    fn record_dirty_mark(&mut self, start: Option<Instant>) {
+        if let (Some(t), Some(p)) = (start, &mut self.profile) {
+            p.record_span(Phase::DirtyMark, t.elapsed().as_nanos() as u64);
         }
     }
 
@@ -259,6 +331,7 @@ impl<A: Algebra> DynForest<A> {
                 dirty: 0,
                 total: n,
                 rounds: 0,
+                counters: self.profile.is_some().then(EngineCounters::default),
             };
         }
         self.seed = splitmix64(self.seed);
@@ -273,6 +346,7 @@ impl<A: Algebra> DynForest<A> {
             dirty_list,
             scratch,
             seed,
+            profile,
             ..
         } = self;
 
@@ -304,13 +378,31 @@ impl<A: Algebra> DynForest<A> {
             scratch.death_round[ui] = 0;
         }
 
-        let outcome = scratch.contract(alg, dirty_list, *seed);
-        scratch.backsolve(alg, subtree);
+        // Both arms run the same engine code; the profiled arm pays for
+        // telemetry, the default arm is compiled with the no-op sink.
+        let outcome = match profile {
+            Some(p) => {
+                let outcome = scratch.contract_with(alg, dirty_list, *seed, p.as_mut());
+                let backsolve_start = Instant::now();
+                scratch.backsolve(alg, subtree);
+                p.record_span(
+                    Phase::Backsolve,
+                    backsolve_start.elapsed().as_nanos() as u64,
+                );
+                outcome
+            }
+            None => {
+                let outcome = scratch.contract_with(alg, dirty_list, *seed, &mut NoopSink);
+                scratch.backsolve(alg, subtree);
+                outcome
+            }
+        };
 
         let stats = UpdateStats {
             dirty: dirty_list.len(),
             total: n,
             rounds: outcome.rounds,
+            counters: profile.is_some().then_some(outcome.counters),
         };
         for &u in dirty_list.iter() {
             dirty[u as usize] = false;
@@ -336,6 +428,7 @@ where
             dirty_list: self.dirty_list.clone(),
             scratch: Scratch::default(),
             seed: self.seed,
+            profile: self.profile.clone(),
         }
     }
 }

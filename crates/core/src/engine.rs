@@ -27,11 +27,19 @@
 //! of the trace ([`Scratch::backsolve`]) recovers the final subtree value of
 //! *every* node, not just the roots — this is what lets the dynamic layer
 //! reuse cached values for clean subtrees.
+//!
+//! The run loop reports into a statically-dispatched [`Sink`]: per-round
+//! `plan`/`apply` spans and a [`RoundCounters`] record (frontier size,
+//! rakes, splices, finishes, coin rejections). All instrumentation is
+//! guarded by `S::ENABLED`, so the default `NoopSink` path compiles to the
+//! bare loop.
 
 use crate::algebra::Algebra;
 use crate::arena::NONE;
+use crate::obs::{EngineCounters, Phase, RoundCounters, Sink};
 use crate::rng::coin;
 use crate::{par, NodeId};
+use std::time::Instant;
 
 /// Hard cap on contraction rounds; with rake + randomized compress the
 /// expected round count is `O(log n)`, so hitting this indicates a bug.
@@ -48,6 +56,9 @@ enum Action {
     Rake,
     /// Splice out this node's (unary) parent.
     Splice,
+    /// Splice preconditions held but the coin toss failed; behaves like
+    /// `None` and exists only so enabled sinks can count rejections.
+    CoinReject,
 }
 
 /// How a node left the contraction, with everything needed to backsolve its
@@ -72,6 +83,8 @@ pub(crate) struct RunOutcome<A: Algebra> {
     pub components: Vec<(NodeId, A::Val)>,
     /// Number of rake/compress rounds executed.
     pub rounds: u32,
+    /// Whole-run action totals; all-zero unless the sink was enabled.
+    pub counters: EngineCounters,
 }
 
 /// Reusable per-node working state, indexed by raw node id.
@@ -128,16 +141,28 @@ impl<A: Algebra> Scratch<A> {
         }
     }
 
-    /// Runs rake/compress rounds until every active node has died.
+    /// Runs rake/compress rounds until every active node has died,
+    /// reporting phase spans and per-round counters into `sink`.
     ///
     /// Callers must have seeded `par`, `count`, `acc`, `fun`, `alive` and
     /// reset `death`/`death_round` for every node in `active` beforehand.
-    pub fn contract(&mut self, alg: &A, active: &[u32], seed: u64) -> RunOutcome<A> {
+    ///
+    /// Telemetry is statically dispatched: every instrumentation site is
+    /// guarded by `S::ENABLED`, so with [`crate::obs::NoopSink`] this
+    /// compiles to exactly the uninstrumented loop.
+    pub fn contract_with<S: Sink>(
+        &mut self,
+        alg: &A,
+        active: &[u32],
+        seed: u64,
+        sink: &mut S,
+    ) -> RunOutcome<A> {
         self.death_order.clear();
         let mut components = Vec::new();
         let mut live: Vec<u32> = active.to_vec();
         let mut actions: Vec<Action> = Vec::new();
         let mut round = 0;
+        let mut counters = EngineCounters::default();
 
         while !live.is_empty() {
             round += 1;
@@ -145,9 +170,15 @@ impl<A: Algebra> Scratch<A> {
                 round <= MAX_ROUNDS,
                 "contraction failed to converge after {MAX_ROUNDS} rounds"
             );
+            let frontier = live.len();
 
             // Plan: pure reads of the pre-round state; each slot is owned by
             // one node, so this parallelizes without synchronization.
+            let plan_start = if S::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            };
             actions.clear();
             actions.resize(live.len(), Action::None);
             {
@@ -156,19 +187,40 @@ impl<A: Algebra> Scratch<A> {
                     *slot = decide(par, count, seed, round, live[i]);
                 });
             }
+            if let Some(t) = plan_start {
+                sink.phase(Phase::Plan, t.elapsed().as_nanos() as u64);
+            }
 
             // Apply: the coin condition guarantees all actions touch
             // disjoint state, so any order is correct.
+            let apply_start = if S::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            };
+            let (mut rakes, mut splices, mut finishes, mut coin_rejections) =
+                (0u32, 0u32, 0u32, 0u32);
             for (i, &action) in actions.iter().enumerate() {
                 let u = live[i];
                 match action {
                     Action::None => {}
+                    Action::CoinReject => {
+                        if S::ENABLED {
+                            coin_rejections += 1;
+                        }
+                    }
                     Action::Finish => {
+                        if S::ENABLED {
+                            finishes += 1;
+                        }
                         let val = alg.finish(self.acc[u as usize].as_ref().unwrap());
                         components.push((NodeId(u), val.clone()));
                         self.kill(u, round, Death::Root(val));
                     }
                     Action::Rake => {
+                        if S::ENABLED {
+                            rakes += 1;
+                        }
                         let p = self.par[u as usize] as usize;
                         let val = alg.finish(self.acc[u as usize].as_ref().unwrap());
                         let contrib =
@@ -182,6 +234,9 @@ impl<A: Algebra> Scratch<A> {
                         // itself to the grandparent. `g` maps val(u) to
                         // val(v); the new edge maps val(u) to v's old
                         // contribution at the grandparent.
+                        if S::ENABLED {
+                            splices += 1;
+                        }
                         let v = self.par[u as usize];
                         let gp = self.par[v as usize];
                         let tf = alg.to_fun(self.acc[v as usize].as_ref().unwrap());
@@ -193,6 +248,21 @@ impl<A: Algebra> Scratch<A> {
                     }
                 }
             }
+            if let Some(t) = apply_start {
+                sink.phase(Phase::Apply, t.elapsed().as_nanos() as u64);
+            }
+            if S::ENABLED {
+                let rc = RoundCounters {
+                    round,
+                    frontier,
+                    rakes,
+                    splices,
+                    finishes,
+                    coin_rejections,
+                };
+                counters.absorb_round(&rc);
+                sink.round(&rc);
+            }
 
             let alive = &self.alive;
             live.retain(|&u| alive[u as usize]);
@@ -201,6 +271,7 @@ impl<A: Algebra> Scratch<A> {
         RunOutcome {
             components,
             rounds: round,
+            counters,
         }
     }
 
@@ -245,6 +316,9 @@ impl<A: Algebra> Scratch<A> {
 /// is spliced it flipped heads, so neither `v`'s parent (needs heads as a
 /// victim but flipped tails) nor `u` (its parent `v` would need tails) can
 /// be spliced in the same round.
+///
+/// A candidate that loses only the coin toss returns `CoinReject` — same
+/// no-op behaviour as `None`, but countable by telemetry sinks.
 #[inline]
 fn decide(par: &[u32], count: &[u32], seed: u64, round: u32, u: u32) -> Action {
     let p = par[u as usize];
@@ -259,9 +333,12 @@ fn decide(par: &[u32], count: &[u32], seed: u64, round: u32, u: u32) -> Action {
         return Action::None;
     }
     let gp = par[p as usize];
-    if gp != NONE && count[p as usize] == 1 && coin(seed, round, p) && !coin(seed, round, gp) {
+    if gp == NONE || count[p as usize] != 1 {
+        return Action::None;
+    }
+    if coin(seed, round, p) && !coin(seed, round, gp) {
         Action::Splice
     } else {
-        Action::None
+        Action::CoinReject
     }
 }

@@ -21,7 +21,15 @@
 //! The per-round planning phase is parallelized with scoped threads behind
 //! the `parallel` feature (dependency-free; see `par.rs`).
 //!
+//! Everything the engine does is observable through the [`obs`] module: a
+//! statically-dispatched [`obs::Sink`] receives phase spans
+//! (plan/apply/backsolve/dirty-mark) and per-round counters, and the
+//! bundled [`obs::Profile`] collector aggregates them into latency
+//! histograms (p50/p90/p99) and per-round totals. The default no-op sink
+//! compiles all instrumentation out.
+//!
 //! ```
+//! use dtc_core::obs::Phase;
 //! use dtc_core::{DynForest, Forest, SubtreeSum};
 //!
 //! let mut f = Forest::new();
@@ -32,12 +40,22 @@
 //! // Static contraction.
 //! assert_eq!(*f.contract(&SubtreeSum).subtree_value(root), 6);
 //!
-//! // Batch-dynamic updates.
+//! // Profiled contraction: same result, plus a telemetry report.
+//! let c = f.contract_profiled(&SubtreeSum, 0x5EED);
+//! let prof = c.profile().unwrap();
+//! assert_eq!(prof.total_retired(), 3); // every node died exactly once
+//! assert_eq!(prof.phase_stats(Phase::Plan).spans() as u32, c.rounds());
+//!
+//! // Batch-dynamic updates, with per-recompute engine counters.
 //! let mut d = DynForest::new(f, SubtreeSum);
+//! d.enable_profiling();
 //! d.batch_update_weights(&[(leaf, 30)]);
 //! let stats = d.recompute();
 //! assert_eq!(*d.subtree_value(root), 33);
 //! assert!(stats.dirty <= 3);
+//! let counters = stats.counters.unwrap();
+//! assert_eq!(counters.retired(), stats.dirty as u64);
+//! println!("{stats}");
 //! ```
 
 #![warn(missing_docs)]
@@ -49,6 +67,7 @@ mod contract;
 mod dynamic;
 mod engine;
 pub mod gen;
+pub mod obs;
 mod par;
 mod rng;
 
@@ -56,3 +75,4 @@ pub use algebra::{Affine, Algebra, ExprAcc, ExprEval, ExprLabel, ExprOp, Subtree
 pub use arena::{Forest, NodeId};
 pub use contract::Contraction;
 pub use dynamic::{DynForest, UpdateStats};
+pub use obs::Profile;
