@@ -15,7 +15,7 @@
 use dtc_bench::{Harness, Json};
 use dtc_core::gen;
 use dtc_core::obs::{Phase, Profile};
-use dtc_core::{DynForest, Forest, NodeId, SubtreeSum};
+use dtc_core::{Answer, Contraction, DynForest, Forest, NodeId, QueryBatch, SubtreeSum};
 
 /// A named lazy forest generator.
 type Shape = (&'static str, Box<dyn Fn() -> Forest<i64>>);
@@ -93,17 +93,175 @@ fn main() {
         }
     }
 
+    // Batch query engine vs 1k individual naive lookups per shape. The
+    // batch pays one O(n) context pass over the trace and then O(log² n)
+    // per query; the naive baseline pays an O(depth) parent walk per
+    // query. Deep shapes (path, caterpillar) are where batching wins by
+    // orders of magnitude; shallow shapes show the flat cost of the
+    // context pass. Both sides run the same 1k-query mix (250 each of
+    // subtree / path / lca / component-value) and are checked against
+    // each other once outside the measured region.
+    for (shape, make) in shapes() {
+        let f = make();
+        let contraction = f.contraction().seed(0x5EED).run(&SubtreeSum);
+        let batch = mixed_batch(&f, 1_000);
+        assert_eq!(
+            contraction
+                .query_batch(&f, &SubtreeSum, &batch)
+                .map(|answers| naive_checksum_of(&answers)),
+            Ok(naive_resolve_all(&f, &contraction, &batch)),
+            "batch and naive resolutions must agree on {shape}"
+        );
+
+        let name = format!("batch_query_1k/{shape}");
+        if h.selected(&name) {
+            h.bench(
+                &name,
+                || (),
+                |()| {
+                    contraction
+                        .query_batch(&f, &SubtreeSum, &batch)
+                        .unwrap()
+                        .len()
+                },
+            );
+            h.attach(&name, "queries", Json::num(batch.len() as u32));
+        }
+        let name = format!("individual_query_1k/{shape}");
+        if h.selected(&name) {
+            h.bench(
+                &name,
+                || (),
+                |()| naive_resolve_all(&f, &contraction, &batch),
+            );
+            h.attach(&name, "queries", Json::num(batch.len() as u32));
+        }
+    }
+
     h.finish();
+}
+
+/// A reproducible 1k-query mix: equal parts subtree, path, LCA, and
+/// component-value queries over random nodes.
+fn mixed_batch(f: &Forest<i64>, total: usize) -> QueryBatch {
+    let n = f.len() as u64;
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        NodeId::from_index((state % n) as usize)
+    };
+    let mut batch = QueryBatch::with_capacity(total);
+    for i in 0..total {
+        match i % 4 {
+            0 => batch.subtree(next()),
+            1 => batch.path(next(), next()),
+            2 => batch.lca(next(), next()),
+            _ => batch.component_value(next()),
+        };
+    }
+    batch
+}
+
+fn depth_of(f: &Forest<i64>, mut v: NodeId) -> usize {
+    let mut d = 0;
+    while let Some(p) = f.parent(v) {
+        v = p;
+        d += 1;
+    }
+    d
+}
+
+fn naive_lca(f: &Forest<i64>, mut u: NodeId, mut v: NodeId) -> Option<NodeId> {
+    let (mut du, mut dv) = (depth_of(f, u), depth_of(f, v));
+    while du > dv {
+        u = f.parent(u).unwrap();
+        du -= 1;
+    }
+    while dv > du {
+        v = f.parent(v).unwrap();
+        dv -= 1;
+    }
+    while u != v {
+        match (f.parent(u), f.parent(v)) {
+            (Some(pu), Some(pv)) => {
+                u = pu;
+                v = pv;
+            }
+            _ => return None,
+        }
+    }
+    Some(u)
+}
+
+/// The individual-lookup baseline: each query resolved on its own with
+/// parent-pointer walks (subtree reads are O(1) against the same
+/// contraction either way). Folds every answer into a checksum so the
+/// optimizer keeps all the work.
+fn naive_resolve_all(f: &Forest<i64>, c: &Contraction<SubtreeSum>, batch: &QueryBatch) -> u64 {
+    use dtc_core::Query;
+    let mut sum = 0u64;
+    for q in batch.queries() {
+        match *q {
+            Query::Subtree(v) => sum = sum.wrapping_add(*c.subtree_value(v) as u64),
+            Query::Path(u, v) => {
+                if let Some(w) = naive_lca(f, u, v) {
+                    let mut total = *f.label(w);
+                    let mut x = u;
+                    while x != w {
+                        total = total.wrapping_add(*f.label(x));
+                        x = f.parent(x).unwrap();
+                    }
+                    let mut x = v;
+                    while x != w {
+                        total = total.wrapping_add(*f.label(x));
+                        x = f.parent(x).unwrap();
+                    }
+                    sum = sum.wrapping_add(total as u64);
+                }
+            }
+            Query::Lca(u, v) => {
+                if let Some(w) = naive_lca(f, u, v) {
+                    sum = sum.wrapping_add(w.index() as u64 + 1);
+                }
+            }
+            Query::ComponentRoot(v) => sum = sum.wrapping_add(f.root_of(v).index() as u64 + 1),
+            Query::ComponentValue(v) => {
+                sum = sum.wrapping_add(*c.subtree_value(f.root_of(v)) as u64)
+            }
+        }
+    }
+    sum
+}
+
+/// Folds a batch-answer vector with the same checksum scheme as
+/// [`naive_resolve_all`], for the cross-check outside the measured region.
+fn naive_checksum_of(answers: &[dtc_core::QueryOutcome<SubtreeSum>]) -> u64 {
+    let mut sum = 0u64;
+    for a in answers {
+        match a.as_ref().expect("bench queries are all valid") {
+            Answer::Value(v) => sum = sum.wrapping_add(*v as u64),
+            Answer::PathValue(p) => sum = sum.wrapping_add(*p as u64),
+            Answer::Node(w) => sum = sum.wrapping_add(w.index() as u64 + 1),
+            Answer::NotConnected => {}
+        }
+    }
+    sum
 }
 
 fn bench_contract(h: &Harness, name: &str, make: &dyn Fn() -> Forest<i64>) {
     if !h.selected(name) {
         return;
     }
-    h.bench(name, make, |f| f.contract(&SubtreeSum).rounds());
+    h.bench(name, make, |f| f.contraction().run(&SubtreeSum).rounds());
     // Engine counters come from one profiled run outside the measured
     // region, so the timed numbers above stay unobserved.
-    let contraction = make().contract_profiled(&SubtreeSum, 0x5EED);
+    let contraction = make()
+        .contraction()
+        .seed(0x5EED)
+        .profiled()
+        .run(&SubtreeSum);
     attach_profile(h, name, contraction.profile().unwrap());
 }
 

@@ -45,6 +45,22 @@ pub trait Algebra: Clone {
     /// Folds a finished child's contribution into the accumulator.
     fn absorb(&self, acc: &mut Self::Acc, child: Self::Val);
 
+    /// Like [`Algebra::absorb`], but also told the child's *sibling index*
+    /// (its position in the parent's child list). Commutative algebras keep
+    /// the default, which ignores the index; ordered (non-commutative)
+    /// algebras such as [`OrderedRake`](crate::OrderedRake) override it to
+    /// reassemble children in child-list order even though the engine
+    /// retires siblings in arbitrary round order.
+    ///
+    /// The engine always calls this variant and guarantees that a spliced
+    /// chain contributes at the slot of its topmost node, so every index in
+    /// `0..children` is absorbed exactly once.
+    #[inline]
+    fn absorb_at(&self, acc: &mut Self::Acc, index: u32, child: Self::Val) {
+        let _ = index;
+        self.absorb(acc, child);
+    }
+
     /// Final value of a node all of whose children have been absorbed.
     fn finish(&self, acc: &Self::Acc) -> Self::Val;
 
@@ -73,7 +89,7 @@ pub trait Algebra: Clone {
 /// let r = f.add_root(10i64);
 /// let a = f.add_child(r, 20);
 /// f.add_child(a, 30);
-/// assert_eq!(*f.contract(&SubtreeSum).subtree_value(r), 60);
+/// assert_eq!(*f.contraction().run(&SubtreeSum).subtree_value(r), 60);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SubtreeSum;
@@ -202,7 +218,7 @@ pub enum ExprAcc {
 /// f.add_child(plus, Leaf(2));
 /// f.add_child(plus, Leaf(3));
 /// f.add_child(root, Leaf(4));
-/// assert_eq!(*f.contract(&ExprEval).subtree_value(root), 20);
+/// assert_eq!(*f.contraction().run(&ExprEval).subtree_value(root), 20);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExprEval;
@@ -272,6 +288,183 @@ impl Algebra for ExprEval {
     #[inline]
     fn apply(&self, f: &Affine, x: i64) -> i64 {
         f.eval(x)
+    }
+}
+
+/// Path-decomposable extension of an [`Algebra`]: a commutative monoid over
+/// *path segments*, letting the batch query engine fold the labels lying on
+/// a tree path (for [`crate::Query::Path`] queries).
+///
+/// Laws: `path_concat` must be associative and commutative with
+/// `path_empty` as unit. (Commutativity is required because a path between
+/// two arbitrary nodes is folded as two root-ward climbs joined at the
+/// LCA, so segment order is not preserved.)
+pub trait PathAlgebra: Algebra {
+    /// Aggregate over a set of labels on a path.
+    type PathVal: Clone;
+
+    /// The single-node segment for one label.
+    fn path_of(&self, label: &Self::Label) -> Self::PathVal;
+
+    /// The empty segment (unit of [`PathAlgebra::path_concat`]).
+    fn path_empty(&self) -> Self::PathVal;
+
+    /// Joins two segments.
+    fn path_concat(&self, a: &Self::PathVal, b: &Self::PathVal) -> Self::PathVal;
+}
+
+/// Weighted path length: the (wrapping) sum of node weights on the path.
+impl PathAlgebra for SubtreeSum {
+    type PathVal = i64;
+
+    #[inline]
+    fn path_of(&self, label: &i64) -> i64 {
+        *label
+    }
+
+    #[inline]
+    fn path_empty(&self) -> i64 {
+        0
+    }
+
+    #[inline]
+    fn path_concat(&self, a: &i64, b: &i64) -> i64 {
+        a.wrapping_add(*b)
+    }
+}
+
+/// Hop count: expression labels have no meaningful path sum, so the path
+/// aggregate is simply the number of nodes on the path.
+impl PathAlgebra for ExprEval {
+    type PathVal = u64;
+
+    #[inline]
+    fn path_of(&self, _label: &ExprLabel) -> u64 {
+        1
+    }
+
+    #[inline]
+    fn path_empty(&self) -> u64 {
+        0
+    }
+
+    #[inline]
+    fn path_concat(&self, a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+}
+
+/// A `(min, max)` pair of `i64` weights — the carrier of [`MinMax`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extrema {
+    /// Smallest weight seen.
+    pub min: i64,
+    /// Largest weight seen.
+    pub max: i64,
+}
+
+impl Extrema {
+    /// The neutral element: `join` with it is the identity.
+    pub const NEUTRAL: Extrema = Extrema {
+        min: i64::MAX,
+        max: i64::MIN,
+    };
+
+    /// The singleton interval `[w, w]`.
+    #[inline]
+    pub fn of(w: i64) -> Extrema {
+        Extrema { min: w, max: w }
+    }
+
+    /// Componentwise min/max — the semilattice join.
+    #[inline]
+    pub fn join(self, other: Extrema) -> Extrema {
+        Extrema {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+/// Min/max weight aggregation over `i64` node weights.
+///
+/// Subtree values are the extrema over the whole subtree; as a
+/// [`PathAlgebra`] it answers min/max-weight-on-path queries. Because join
+/// is an idempotent commutative semilattice, the edge functions are just
+/// pending joins, closed under composition.
+///
+/// ```
+/// use dtc_core::{Extrema, Forest, MinMax};
+/// let mut f = Forest::new();
+/// let r = f.add_root(5i64);
+/// let a = f.add_child(r, -2);
+/// f.add_child(a, 9);
+/// let c = f.contraction().run(&MinMax);
+/// assert_eq!(*c.subtree_value(r), Extrema { min: -2, max: 9 });
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinMax;
+
+impl Algebra for MinMax {
+    type Label = i64;
+    type Val = Extrema;
+    type Acc = Extrema;
+    /// A pending join.
+    type Fun = Extrema;
+
+    #[inline]
+    fn init_acc(&self, label: &i64) -> Extrema {
+        Extrema::of(*label)
+    }
+
+    #[inline]
+    fn absorb(&self, acc: &mut Extrema, child: Extrema) {
+        *acc = acc.join(child);
+    }
+
+    #[inline]
+    fn finish(&self, acc: &Extrema) -> Extrema {
+        *acc
+    }
+
+    #[inline]
+    fn to_fun(&self, acc: &Extrema) -> Extrema {
+        *acc
+    }
+
+    #[inline]
+    fn identity(&self) -> Extrema {
+        Extrema::NEUTRAL
+    }
+
+    #[inline]
+    fn compose(&self, outer: &Extrema, inner: &Extrema) -> Extrema {
+        outer.join(*inner)
+    }
+
+    #[inline]
+    fn apply(&self, f: &Extrema, x: Extrema) -> Extrema {
+        f.join(x)
+    }
+}
+
+/// Min/max weight on the path.
+impl PathAlgebra for MinMax {
+    type PathVal = Extrema;
+
+    #[inline]
+    fn path_of(&self, label: &i64) -> Extrema {
+        Extrema::of(*label)
+    }
+
+    #[inline]
+    fn path_empty(&self) -> Extrema {
+        Extrema::NEUTRAL
+    }
+
+    #[inline]
+    fn path_concat(&self, a: &Extrema, b: &Extrema) -> Extrema {
+        a.join(*b)
     }
 }
 

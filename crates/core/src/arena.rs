@@ -72,7 +72,7 @@ impl std::fmt::Display for NodeId {
 /// let b = f.add_child(root, 3);
 /// let _leaf = f.add_child(a, 4);
 ///
-/// let c = f.contract(&SubtreeSum);
+/// let c = f.contraction().run(&SubtreeSum);
 /// assert_eq!(*c.subtree_value(root), 10);
 /// assert_eq!(*c.subtree_value(a), 6);
 /// assert_eq!(*c.subtree_value(b), 3);

@@ -1,4 +1,5 @@
-//! Static (whole-forest) contraction and the sequential oracle.
+//! Static (whole-forest) contraction, the [`ContractOptions`] builder, and
+//! the sequential oracle.
 
 use crate::algebra::Algebra;
 use crate::arena::{Forest, NONE};
@@ -7,13 +8,30 @@ use crate::obs::{NoopSink, Phase, Profile, Sink};
 use crate::NodeId;
 use std::time::Instant;
 
+/// Default coin seed used when [`ContractOptions::seed`] is not called.
+pub(crate) const DEFAULT_SEED: u64 = 0x5EED;
+
 /// Result of contracting a whole forest: final subtree values for every
-/// node, per-component aggregates, and the round-stamped trace.
+/// node, per-component aggregates, the round-stamped trace, and the
+/// shortcut structure of the contraction DAG (used by
+/// [`Contraction::query_batch`]).
 pub struct Contraction<A: Algebra> {
     vals: Vec<A::Val>,
     components: Vec<(NodeId, A::Val)>,
     rounds: u32,
     death_round: Vec<u32>,
+    /// Working parent at death; `NONE` for finished roots. Strictly
+    /// increases in death round along any chain, so climbing it reaches a
+    /// root in at most `rounds` hops.
+    pub(crate) up: Vec<u32>,
+    /// CSR offsets into `hop_victims`, length `n + 1`.
+    pub(crate) hop_off: Vec<u32>,
+    /// For each node `x`, the nodes spliced out from directly above it —
+    /// its successive working parents, bottom to top (ascending death
+    /// round). Together with the victims' own (recursive) victim lists
+    /// these are exactly the original ancestors strictly between `x` and
+    /// `up[x]`.
+    pub(crate) hop_victims: Vec<u32>,
     profile: Option<Box<Profile>>,
 }
 
@@ -44,126 +62,209 @@ impl<A: Algebra> Contraction<A> {
         self.death_round[v.index()]
     }
 
+    /// `v`'s working parent at the moment it was contracted away, or
+    /// `None` if `v` finished as a component root.
+    ///
+    /// These pointers form a shortcut tree of depth ≤ [`Contraction::rounds`]
+    /// over the original forest: each hop skips exactly the nodes that were
+    /// compressed out from above `v`. The batch query engine climbs them to
+    /// answer root/LCA/path queries in `O(rounds)` per query.
+    pub fn trace_parent(&self, v: NodeId) -> Option<NodeId> {
+        let p = self.up[v.index()];
+        (p != NONE).then_some(NodeId(p))
+    }
+
     /// Telemetry report collected during the contraction, present only when
-    /// the forest was contracted via [`Forest::contract_profiled`].
+    /// the run was configured with [`ContractOptions::profiled`].
     pub fn profile(&self) -> Option<&Profile> {
         self.profile.as_deref()
     }
 }
 
-impl<L> Forest<L> {
-    /// Contracts the whole forest under `alg` with a default coin seed.
-    ///
-    /// See [`Forest::contract_seeded`] for details.
-    pub fn contract<A>(&self, alg: &A) -> Contraction<A>
-    where
-        A: Algebra<Label = L>,
-    {
-        self.contract_seeded(alg, 0x5EED)
-    }
+/// Builder for a contraction run, created by [`Forest::contraction`].
+///
+/// Collapses the former `contract` / `contract_seeded` /
+/// `contract_profiled` / `contract_with` entry points into one fluent
+/// configuration:
+///
+/// ```
+/// use dtc_core::{gen, SubtreeSum};
+/// let f = gen::random_tree(1_000, 1);
+/// // Plain run with defaults:
+/// let c = f.contraction().run(&SubtreeSum);
+/// // Reproducible coins + telemetry:
+/// let p = f.contraction().seed(42).profiled().run(&SubtreeSum);
+/// assert_eq!(c.values(), p.values());
+/// assert_eq!(p.profile().unwrap().total_retired(), 1_000);
+/// ```
+#[must_use = "the builder does nothing until `run` is called"]
+pub struct ContractOptions<'f, L> {
+    forest: &'f Forest<L>,
+    seed: u64,
+    profiled: bool,
+}
 
-    /// Contracts the whole forest under `alg`, using `seed` for the
-    /// compress coin flips.
+impl<L> Forest<L> {
+    /// Starts configuring a contraction of this forest; finish with
+    /// [`ContractOptions::run`].
+    pub fn contraction(&self) -> ContractOptions<'_, L> {
+        ContractOptions {
+            forest: self,
+            seed: DEFAULT_SEED,
+            profiled: false,
+        }
+    }
+}
+
+impl<'f, L> ContractOptions<'f, L> {
+    /// Uses `seed` for the compress coin flips.
     ///
     /// The result is independent of the seed (the coins only affect *which*
     /// unary nodes are spliced each round, never the algebraic outcome);
     /// exposing it keeps runs reproducible.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Collects a full [`Profile`] — phase latency histograms and per-round
+    /// counters — available afterwards via [`Contraction::profile`].
+    pub fn profiled(mut self) -> Self {
+        self.profiled = true;
+        self
+    }
+
+    /// Runs the contraction under `alg`.
+    pub fn run<A>(self, alg: &A) -> Contraction<A>
+    where
+        A: Algebra<Label = L>,
+    {
+        if self.profiled {
+            let mut profile = Box::<Profile>::default();
+            let mut c = run_contraction(self.forest, alg, self.seed, profile.as_mut());
+            c.profile = Some(profile);
+            c
+        } else {
+            run_contraction(self.forest, alg, self.seed, &mut NoopSink)
+        }
+    }
+
+    /// Runs the contraction, streaming telemetry into a custom [`Sink`]
+    /// with static dispatch (phase spans and per-round counters).
     ///
-    /// ```
-    /// use dtc_core::{Forest, SubtreeSum};
-    /// let mut f = Forest::new();
-    /// let r = f.add_root(5i64);
-    /// f.add_child(r, 6);
-    /// let c = f.contract_seeded(&SubtreeSum, 123);
-    /// assert_eq!(c.components(), &[(r, 11)]);
-    /// ```
+    /// The [`ContractOptions::profiled`] flag is ignored on this path — the
+    /// provided sink *is* the telemetry destination.
+    pub fn run_with<A, S>(self, alg: &A, sink: &mut S) -> Contraction<A>
+    where
+        A: Algebra<Label = L>,
+        S: Sink,
+    {
+        run_contraction(self.forest, alg, self.seed, sink)
+    }
+}
+
+/// The shared contraction runner behind every [`ContractOptions`] path.
+fn run_contraction<L, A, S>(forest: &Forest<L>, alg: &A, seed: u64, sink: &mut S) -> Contraction<A>
+where
+    A: Algebra<Label = L>,
+    S: Sink,
+{
+    let n = forest.len();
+    let mut scratch: Scratch<A> = Scratch::default();
+    scratch.ensure(n);
+
+    for v in 0..n as u32 {
+        let p = forest.parent_raw(v);
+        scratch.par[v as usize] = p;
+        if p != NONE {
+            // Children appear in id order, so the running count is exactly
+            // the node's position in the parent's (derived) child list.
+            scratch.sib[v as usize] = scratch.count[p as usize];
+            scratch.count[p as usize] += 1;
+        }
+    }
+    for v in 0..n {
+        scratch.acc[v] = Some(alg.init_acc(forest.label(NodeId(v as u32))));
+        scratch.fun[v] = Some(alg.identity());
+        scratch.alive[v] = true;
+    }
+
+    let active: Vec<u32> = (0..n as u32).collect();
+    let outcome = scratch.contract_with(alg, &active, seed, sink);
+
+    let mut out: Vec<Option<A::Val>> = vec![None; n];
+    let backsolve_start = if S::ENABLED {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    scratch.backsolve(alg, &mut out);
+    if let Some(t) = backsolve_start {
+        sink.phase(Phase::Backsolve, t.elapsed().as_nanos() as u64);
+    }
+    let vals = out
+        .into_iter()
+        .map(|v| v.expect("every node contracted"))
+        .collect();
+    let (up, hop_off, hop_victims) = scratch.trace_links(n);
+
+    Contraction {
+        vals,
+        components: outcome.components,
+        rounds: outcome.rounds,
+        death_round: scratch.death_round,
+        up,
+        hop_off,
+        hop_victims,
+        profile: None,
+    }
+}
+
+impl<L> Forest<L> {
+    /// Contracts the whole forest under `alg` with a default coin seed.
+    #[deprecated(note = "use `forest.contraction().run(&alg)` instead")]
+    pub fn contract<A>(&self, alg: &A) -> Contraction<A>
+    where
+        A: Algebra<Label = L>,
+    {
+        self.contraction().run(alg)
+    }
+
+    /// Contracts the whole forest under `alg`, using `seed` for the
+    /// compress coin flips.
+    #[deprecated(note = "use `forest.contraction().seed(seed).run(&alg)` instead")]
     pub fn contract_seeded<A>(&self, alg: &A, seed: u64) -> Contraction<A>
     where
         A: Algebra<Label = L>,
     {
-        self.contract_with(alg, seed, &mut NoopSink)
+        self.contraction().seed(seed).run(alg)
     }
 
-    /// Like [`Forest::contract_seeded`], but also collects a full
-    /// [`Profile`] — phase latency histograms and per-round counters —
-    /// available afterwards via [`Contraction::profile`].
-    ///
-    /// ```
-    /// use dtc_core::{gen, SubtreeSum};
-    /// let f = gen::random_tree(1_000, 1);
-    /// let c = f.contract_profiled(&SubtreeSum, 0x5EED);
-    /// let prof = c.profile().unwrap();
-    /// assert_eq!(prof.total_retired(), 1_000);
-    /// assert_eq!(prof.max_rounds(), c.rounds());
-    /// ```
+    /// Like contracting with a seed, but also collects a full [`Profile`].
+    #[deprecated(note = "use `forest.contraction().seed(seed).profiled().run(&alg)` instead")]
     pub fn contract_profiled<A>(&self, alg: &A, seed: u64) -> Contraction<A>
     where
         A: Algebra<Label = L>,
     {
-        let mut profile = Box::<Profile>::default();
-        let mut c = self.contract_with(alg, seed, profile.as_mut());
-        c.profile = Some(profile);
-        c
+        self.contraction().seed(seed).profiled().run(alg)
     }
 
     /// Contracts the whole forest, streaming telemetry into `sink`.
-    ///
-    /// This is the generic entry point behind [`Forest::contract_seeded`]
-    /// (no-op sink) and [`Forest::contract_profiled`] ([`Profile`] sink);
-    /// pass any custom [`Sink`] to receive phase spans and per-round
-    /// counters with static dispatch.
+    #[deprecated(note = "use `forest.contraction().seed(seed).run_with(&alg, sink)` instead")]
     pub fn contract_with<A, S>(&self, alg: &A, seed: u64, sink: &mut S) -> Contraction<A>
     where
         A: Algebra<Label = L>,
         S: Sink,
     {
-        let n = self.len();
-        let mut scratch: Scratch<A> = Scratch::default();
-        scratch.ensure(n);
-
-        for v in 0..n as u32 {
-            let p = self.parent_raw(v);
-            scratch.par[v as usize] = p;
-            if p != NONE {
-                scratch.count[p as usize] += 1;
-            }
-        }
-        for v in 0..n {
-            scratch.acc[v] = Some(alg.init_acc(self.label(NodeId(v as u32))));
-            scratch.fun[v] = Some(alg.identity());
-            scratch.alive[v] = true;
-        }
-
-        let active: Vec<u32> = (0..n as u32).collect();
-        let outcome = scratch.contract_with(alg, &active, seed, sink);
-
-        let mut out: Vec<Option<A::Val>> = vec![None; n];
-        let backsolve_start = if S::ENABLED {
-            Some(Instant::now())
-        } else {
-            None
-        };
-        scratch.backsolve(alg, &mut out);
-        if let Some(t) = backsolve_start {
-            sink.phase(Phase::Backsolve, t.elapsed().as_nanos() as u64);
-        }
-        let vals = out
-            .into_iter()
-            .map(|v| v.expect("every node contracted"))
-            .collect();
-
-        Contraction {
-            vals,
-            components: outcome.components,
-            rounds: outcome.rounds,
-            death_round: scratch.death_round,
-            profile: None,
-        }
+        self.contraction().seed(seed).run_with(alg, sink)
     }
 
     /// Sequential reference evaluation: an iterative bottom-up fold that
     /// shares only the [`Algebra`] with the contraction engine, making it a
-    /// correctness oracle for [`Forest::contract`].
+    /// correctness oracle for [`ContractOptions::run`].
+    ///
+    /// Children are absorbed left-to-right (child-list order) with their
+    /// sibling index, so the oracle is valid for ordered algebras too.
     ///
     /// Returns the final subtree value of every node, indexed by
     /// [`NodeId::index`]. Runs in `O(n)` with an explicit stack, so deep
@@ -188,9 +289,9 @@ impl<L> Forest<L> {
         let mut vals: Vec<Option<A::Val>> = vec![None; n];
         for &u in order.iter().rev() {
             let mut acc = alg.init_acc(self.label(NodeId(u)));
-            for &c in &children[u as usize] {
+            for (i, &c) in children[u as usize].iter().enumerate() {
                 let cv = vals[c as usize].clone().expect("children folded first");
-                alg.absorb(&mut acc, cv);
+                alg.absorb_at(&mut acc, i as u32, cv);
             }
             vals[u as usize] = Some(alg.finish(&acc));
         }

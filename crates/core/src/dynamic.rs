@@ -23,14 +23,55 @@
 //! round-stamped trace recorded by the engine is what makes cached values
 //! available at every node (via backsolving), not just at the roots.
 
-use crate::algebra::Algebra;
+use crate::algebra::{Algebra, PathAlgebra};
 use crate::arena::{Forest, NONE};
 use crate::engine::{Death, Scratch};
 use crate::obs::{EngineCounters, NoopSink, Phase, Profile};
+use crate::query::{QueryBatch, QueryError, QueryOutcome};
 use crate::rng::splitmix64;
 use crate::NodeId;
 use std::fmt;
 use std::time::Instant;
+
+/// Why a batch edit was rejected by [`DynForest::try_batch_cut`] /
+/// [`DynForest::try_batch_link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditError {
+    /// A link named a child that is not a component root.
+    NotARoot {
+        /// The offending child.
+        node: NodeId,
+    },
+    /// A cut named a node that is already a component root.
+    AlreadyRoot {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A link would create a cycle: the requested parent lies inside the
+    /// child's own subtree.
+    WouldCycle {
+        /// The child being linked.
+        child: NodeId,
+        /// The requested parent.
+        parent: NodeId,
+    },
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EditError::NotARoot { node } => write!(f, "{node} is not a root"),
+            EditError::AlreadyRoot { node } => write!(f, "{node} is already a root"),
+            EditError::WouldCycle { child, parent } => write!(
+                f,
+                "linking {child} under {parent} would create a cycle: \
+                 parent is inside child's subtree"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
 
 /// Statistics returned by [`DynForest::recompute`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,24 +241,55 @@ impl<A: Algebra> DynForest<A> {
         self.forest.root_of(v)
     }
 
+    /// Final subtree value of `v` as of the last recompute, or an error if
+    /// `v` is stale (marked dirty by a pending edit) or out of range.
+    ///
+    /// This is the explicit-staleness read: a `Err(QueryError::Stale)`
+    /// means the cached value would be silently wrong, and the caller must
+    /// [`DynForest::recompute`] first.
+    pub fn try_subtree_value(&self, v: NodeId) -> Result<&A::Val, QueryError> {
+        let n = self.forest.len();
+        if v.index() >= n {
+            return Err(QueryError::UnknownNode { node: v, nodes: n });
+        }
+        if self.dirty[v.index()] {
+            return Err(QueryError::Stale { node: v });
+        }
+        Ok(self.subtree[v.index()]
+            .as_ref()
+            .expect("clean node has a cached value"))
+    }
+
     /// Final subtree value of `v` as of the last recompute.
     ///
     /// # Panics
-    /// Panics if `v` is dirty — call [`DynForest::recompute`] first.
+    /// Panics if `v` is dirty — call [`DynForest::recompute`] first, or use
+    /// [`DynForest::try_subtree_value`] to handle staleness without
+    /// panicking.
     pub fn subtree_value(&self, v: NodeId) -> &A::Val {
-        assert!(
-            !self.dirty[v.index()],
-            "subtree_value({v}): node has pending updates; call recompute()"
-        );
-        self.subtree[v.index()]
-            .as_ref()
-            .expect("clean node has a cached value")
+        self.try_subtree_value(v)
+            .unwrap_or_else(|e| panic!("subtree_value({v}): {e}"))
+    }
+
+    /// Aggregate of the component containing `v` (any node of the
+    /// component, not just its root), or an error if the component has
+    /// pending updates or `v` is out of range.
+    ///
+    /// Dirty marks are upward-closed, so the component root is clean iff
+    /// no edit in the component is pending.
+    pub fn try_component_value(&self, v: NodeId) -> Result<&A::Val, QueryError> {
+        let n = self.forest.len();
+        if v.index() >= n {
+            return Err(QueryError::UnknownNode { node: v, nodes: n });
+        }
+        self.try_subtree_value(self.forest.root_of(v))
     }
 
     /// Aggregate of the component rooted at `root`.
     ///
     /// # Panics
-    /// Panics if `root` is not a root or is dirty.
+    /// Panics if `root` is not a root or is dirty; see
+    /// [`DynForest::try_component_value`] for the non-panicking form.
     pub fn component_value(&self, root: NodeId) -> &A::Val {
         assert!(
             self.forest.is_root(root),
@@ -244,62 +316,140 @@ impl<A: Algebra> DynForest<A> {
         }
     }
 
-    /// Cuts each node in `cuts` from its parent, making it a component root.
+    /// Detaches `v` from its parent (no validation beyond the root check);
+    /// returns the old parent so the cut can be undone.
+    fn cut_one(&mut self, v: NodeId) -> Result<u32, EditError> {
+        let p = self.forest.parent_raw(v.raw());
+        if p == NONE {
+            return Err(EditError::AlreadyRoot { node: v });
+        }
+        let kids = &mut self.children[p as usize];
+        let pos = self.child_slot[v.index()] as usize;
+        debug_assert_eq!(kids[pos], v.raw(), "child_slot tracks child lists");
+        kids.swap_remove(pos);
+        if pos < kids.len() {
+            self.child_slot[kids[pos] as usize] = pos as u32;
+        }
+        self.forest.set_parent_raw(v.raw(), NONE);
+        self.mark_path_dirty(p);
+        Ok(p)
+    }
+
+    /// Attaches the root `child` under `parent` after validating both the
+    /// rootness and the cycle condition.
+    fn link_one(&mut self, child: NodeId, parent: NodeId) -> Result<(), EditError> {
+        if !self.forest.is_root(child) {
+            return Err(EditError::NotARoot { node: child });
+        }
+        if self.forest.root_of(parent) == child {
+            return Err(EditError::WouldCycle { child, parent });
+        }
+        self.child_slot[child.index()] = self.children[parent.index()].len() as u32;
+        self.children[parent.index()].push(child.raw());
+        self.forest.set_parent_raw(child.raw(), parent.raw());
+        self.mark_path_dirty(parent.raw());
+        Ok(())
+    }
+
+    /// Re-attaches a previously cut `child` under its old parent `p`
+    /// (rollback path; the link is known valid, so no checks).
+    fn relink_unchecked(&mut self, child: NodeId, p: u32) {
+        self.child_slot[child.index()] = self.children[p as usize].len() as u32;
+        self.children[p as usize].push(child.raw());
+        self.forest.set_parent_raw(child.raw(), p);
+    }
+
+    /// Cuts each node in `cuts` from its parent, making it a component
+    /// root. The cut subtree's cached values stay valid; only the old
+    /// ancestors are invalidated.
     ///
-    /// The cut subtree's cached values stay valid; only the old ancestors
-    /// are invalidated.
-    ///
-    /// # Panics
-    /// Panics if a node is already a root.
-    pub fn batch_cut(&mut self, cuts: &[NodeId]) {
+    /// Ops apply in order; on the first invalid op ([`EditError::AlreadyRoot`],
+    /// including a node cut twice in the same batch) every already-applied
+    /// cut is undone and the forest shape is exactly as before the call.
+    /// Dirty marks made along the way are **not** undone — they are merely
+    /// conservative (the next [`DynForest::recompute`] refreshes values
+    /// that were already correct), never wrong. Rollback re-attaches via a
+    /// push, and cutting swap-removes, so a failed batch may permute
+    /// sibling order; for the commutative [`Algebra`] contract this is
+    /// unobservable, but ordered algebras (see
+    /// [`OrderedRake`](crate::OrderedRake)) should treat structural edits
+    /// as order-perturbing in general.
+    pub fn try_batch_cut(&mut self, cuts: &[NodeId]) -> Result<(), EditError> {
         let mark_start = self.profile.as_ref().map(|_| Instant::now());
+        let mut applied: Vec<(NodeId, u32)> = Vec::with_capacity(cuts.len());
         for &v in cuts {
-            let p = self.forest.parent_raw(v.raw());
-            assert!(p != NONE, "batch_cut({v}): node is already a root");
-            let kids = &mut self.children[p as usize];
-            let pos = self.child_slot[v.index()] as usize;
-            debug_assert_eq!(kids[pos], v.raw(), "child_slot tracks child lists");
-            kids.swap_remove(pos);
-            if pos < kids.len() {
-                self.child_slot[kids[pos] as usize] = pos as u32;
+            match self.cut_one(v) {
+                Ok(p) => applied.push((v, p)),
+                Err(e) => {
+                    for &(child, p) in applied.iter().rev() {
+                        self.relink_unchecked(child, p);
+                    }
+                    self.record_dirty_mark(mark_start);
+                    return Err(e);
+                }
             }
-            self.forest.set_parent_raw(v.raw(), NONE);
-            self.mark_path_dirty(p);
         }
         self.record_dirty_mark(mark_start);
+        Ok(())
+    }
+
+    /// Cuts each node in `cuts` from its parent, making it a component root.
+    ///
+    /// # Panics
+    /// Panics if a node is already a root; use
+    /// [`DynForest::try_batch_cut`] for the non-panicking (and
+    /// rolled-back) form.
+    pub fn batch_cut(&mut self, cuts: &[NodeId]) {
+        self.try_batch_cut(cuts)
+            .unwrap_or_else(|e| panic!("batch_cut: {e}"));
     }
 
     /// Links each `(child, parent)` pair, attaching the tree rooted at
-    /// `child` under `parent`.
-    ///
-    /// The linked subtree's cached values stay valid; only the new
-    /// ancestors are invalidated.
+    /// `child` under `parent`. The linked subtree's cached values stay
+    /// valid; only the new ancestors are invalidated.
     ///
     /// Each link walks `parent`'s chain to its root to reject cycles, so a
     /// batch costs `O(k × depth)` before any recomputation; the walk is
     /// kept in release builds because an undetected cycle would hang every
     /// later traversal.
     ///
-    /// # Panics
-    /// Panics if `child` is not a root, or if `parent` lies inside
-    /// `child`'s own subtree (which would create a cycle).
-    pub fn batch_link(&mut self, links: &[(NodeId, NodeId)]) {
+    /// Ops apply in order — later links may legally build on earlier ones
+    /// (chaining freshly linked components). On the first invalid op
+    /// ([`EditError::NotARoot`] or [`EditError::WouldCycle`]) every
+    /// already-applied link is undone and the forest shape is exactly as
+    /// before the call; dirty marks are not undone (conservative, never
+    /// wrong).
+    pub fn try_batch_link(&mut self, links: &[(NodeId, NodeId)]) -> Result<(), EditError> {
         let mark_start = self.profile.as_ref().map(|_| Instant::now());
+        let mut applied: Vec<NodeId> = Vec::with_capacity(links.len());
         for &(child, parent) in links {
-            assert!(
-                self.forest.is_root(child),
-                "batch_link({child} -> {parent}): child is not a root"
-            );
-            assert!(
-                self.forest.root_of(parent) != child,
-                "batch_link({child} -> {parent}): parent is inside child's subtree"
-            );
-            self.child_slot[child.index()] = self.children[parent.index()].len() as u32;
-            self.children[parent.index()].push(child.raw());
-            self.forest.set_parent_raw(child.raw(), parent.raw());
-            self.mark_path_dirty(parent.raw());
+            match self.link_one(child, parent) {
+                Ok(()) => applied.push(child),
+                Err(e) => {
+                    for &child in applied.iter().rev() {
+                        self.cut_one(child)
+                            .expect("applied link has a parent to cut");
+                    }
+                    self.record_dirty_mark(mark_start);
+                    return Err(e);
+                }
+            }
         }
         self.record_dirty_mark(mark_start);
+        Ok(())
+    }
+
+    /// Links each `(child, parent)` pair, attaching the tree rooted at
+    /// `child` under `parent`.
+    ///
+    /// # Panics
+    /// Panics if `child` is not a root, or if `parent` lies inside
+    /// `child`'s own subtree (which would create a cycle); use
+    /// [`DynForest::try_batch_link`] for the non-panicking (and
+    /// rolled-back) form.
+    pub fn batch_link(&mut self, links: &[(NodeId, NodeId)]) {
+        self.try_batch_link(links)
+            .unwrap_or_else(|e| panic!("batch_link: {e}"));
     }
 
     /// Replaces the labels (weights/operators) of the given nodes.
@@ -360,14 +510,18 @@ impl<A: Algebra> DynForest<A> {
             scratch.par[ui] = p;
             let mut acc = alg.init_acc(forest.label(NodeId(u)));
             let mut live_children = 0u32;
-            for &c in &children[ui] {
+            for (i, &c) in children[ui].iter().enumerate() {
                 if dirty[c as usize] {
                     live_children += 1;
+                    // The dirty child will rake in later; hand it its
+                    // child-list slot so ordered algebras absorb it at the
+                    // right position.
+                    scratch.sib[c as usize] = i as u32;
                 } else {
                     let cached = subtree[c as usize]
                         .clone()
                         .expect("clean child has a cached value");
-                    alg.absorb(&mut acc, cached);
+                    alg.absorb_at(&mut acc, i as u32, cached);
                 }
             }
             scratch.count[ui] = live_children;
@@ -409,6 +563,38 @@ impl<A: Algebra> DynForest<A> {
         }
         dirty_list.clear();
         stats
+    }
+
+    /// Resolves a [`QueryBatch`] against the current forest shape.
+    ///
+    /// Requires a clean forest: with edits pending the cached values (and
+    /// any trace) are stale, so this returns
+    /// [`QueryError::PendingEdits`] instead of silently answering from
+    /// stale data — call [`DynForest::recompute`] first.
+    ///
+    /// Internally this runs a fresh full contraction to obtain a
+    /// consistent trace. Incremental recomputes deliberately re-contract
+    /// only the dirty set, so the merged traces of successive recomputes
+    /// are *not* mutually consistent (a clean node's recorded shortcut
+    /// parent may predate a cut that later re-routed the path above it);
+    /// queries need one coherent trace, and a single `O(n log n)` w.h.p.
+    /// contraction amortized over a batch of thousands of queries is the
+    /// cheapest way to get one. The answers themselves are still
+    /// `O(log n)` each on top of that shared pass.
+    pub fn query_batch(&self, batch: &QueryBatch) -> Result<Vec<QueryOutcome<A>>, QueryError>
+    where
+        A: PathAlgebra + Sync,
+        A::Label: Sync,
+        A::Val: Send + Sync,
+        A::PathVal: Send + Sync,
+    {
+        if !self.dirty_list.is_empty() {
+            return Err(QueryError::PendingEdits {
+                pending: self.dirty_list.len(),
+            });
+        }
+        let c = self.forest.contraction().seed(self.seed).run(&self.alg);
+        c.query_batch(&self.forest, &self.alg, batch)
     }
 }
 

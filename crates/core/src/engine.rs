@@ -110,6 +110,17 @@ pub(crate) struct Scratch<A: Algebra> {
     pub death_round: Vec<u32>,
     /// Nodes in death order; reversing it yields a valid backsolve order.
     pub death_order: Vec<u32>,
+    /// Working parent at the moment of death (`NONE` for finished roots).
+    /// Because a node's working parent always strictly outlives it, these
+    /// pointers form a shortcut tree of depth ≤ rounds — the spine of the
+    /// contraction DAG that the batch query engine climbs.
+    pub death_parent: Vec<u32>,
+    /// Sibling index of each node in its (original) parent's child list.
+    /// Passed to [`Algebra::absorb_at`] so ordered (non-commutative)
+    /// algebras can reassemble children in child-list order even though
+    /// rake retires siblings in arbitrary round order. A spliced-out
+    /// node bequeaths its slot to its surviving child.
+    pub sib: Vec<u32>,
 }
 
 impl<A: Algebra> Default for Scratch<A> {
@@ -123,6 +134,8 @@ impl<A: Algebra> Default for Scratch<A> {
             death: Vec::new(),
             death_round: Vec::new(),
             death_order: Vec::new(),
+            death_parent: Vec::new(),
+            sib: Vec::new(),
         }
     }
 }
@@ -138,6 +151,8 @@ impl<A: Algebra> Scratch<A> {
             self.alive.resize(n, false);
             self.death.resize_with(n, Death::default);
             self.death_round.resize(n, 0);
+            self.death_parent.resize(n, NONE);
+            self.sib.resize(n, 0);
         }
     }
 
@@ -225,7 +240,8 @@ impl<A: Algebra> Scratch<A> {
                         let val = alg.finish(self.acc[u as usize].as_ref().unwrap());
                         let contrib =
                             alg.apply(self.fun[u as usize].as_ref().unwrap(), val.clone());
-                        alg.absorb(self.acc[p].as_mut().unwrap(), contrib);
+                        let slot = self.sib[u as usize];
+                        alg.absorb_at(self.acc[p].as_mut().unwrap(), slot, contrib);
                         self.count[p] -= 1;
                         self.kill(u, round, Death::Raked(val));
                     }
@@ -244,6 +260,9 @@ impl<A: Algebra> Scratch<A> {
                         let new_fun = alg.compose(self.fun[v as usize].as_ref().unwrap(), &g);
                         self.fun[u as usize] = Some(new_fun);
                         self.par[u as usize] = gp;
+                        // `u` inherits the victim's slot in the grandparent's
+                        // child order, keeping ordered rakes well-indexed.
+                        self.sib[u as usize] = self.sib[v as usize];
                         self.kill(v, round, Death::Compressed { child: u, fun: g });
                     }
                 }
@@ -279,7 +298,48 @@ impl<A: Algebra> Scratch<A> {
         self.alive[u as usize] = false;
         self.death[u as usize] = death;
         self.death_round[u as usize] = round;
+        self.death_parent[u as usize] = self.par[u as usize];
         self.death_order.push(u);
+    }
+
+    /// Extracts the shortcut structure of the last run over nodes `0..n`:
+    /// each node's working parent at death (`up`), plus CSR hop lists
+    /// (`hop_off`, `hop_victims`) giving, for every node `x`, the nodes that
+    /// were spliced out from directly above it — i.e. the original-tree
+    /// ancestors lying strictly between `x` and `up[x]`, in ascending death
+    /// round (equivalently, bottom-to-top along the original path).
+    ///
+    /// Concatenating `x`, `hop_victims(x)`, `up[x]`, `hop_victims(up[x])`,
+    /// … therefore reconstructs `x`'s *entire* original ancestor path while
+    /// only ever following `O(rounds)` shortcut pointers; this is what the
+    /// batch query engine traverses.
+    ///
+    /// Only meaningful after a run whose active set was the full `0..n`
+    /// range (static contraction); a dirty-set run leaves stale entries for
+    /// untouched nodes.
+    pub fn trace_links(&self, n: usize) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        let up = self.death_parent[..n].to_vec();
+        let mut hop_off = vec![0u32; n + 1];
+        for &u in &self.death_order {
+            if let Death::Compressed { child, .. } = &self.death[u as usize] {
+                hop_off[*child as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            hop_off[i + 1] += hop_off[i];
+        }
+        let mut cursor = hop_off.clone();
+        let mut hop_victims = vec![0u32; hop_off[n] as usize];
+        // `death_order` is chronological, so each hop list comes out in
+        // ascending death round, which is bottom-to-top along the path.
+        for &u in &self.death_order {
+            if let Death::Compressed { child, .. } = &self.death[u as usize] {
+                let c = *child as usize;
+                hop_victims[cursor[c] as usize] = u;
+                cursor[c] += 1;
+            }
+        }
+        (up, hop_off, hop_victims)
     }
 
     /// Replays the death trace in reverse, writing the final subtree value

@@ -3,23 +3,38 @@
 //! This crate implements Miller–Reif tree contraction — alternating **rake**
 //! (fold leaves into their parents) and randomized **compress** (splice out
 //! unary chain nodes) — over an arena-allocated [`Forest`] of `u32`-indexed
-//! nodes, and layers a **batch-dynamic** update API on top: the contraction
-//! records a round-stamped trace, cached subtree values are recovered for
-//! every node by backsolving the trace, and batches of
-//! [`cut`](DynForest::batch_cut) / [`link`](DynForest::batch_link) /
-//! [`weight`](DynForest::batch_update_weights) edits re-run contraction only
-//! on the dirty set.
+//! nodes, and layers two engines on top of the recorded round-stamped
+//! trace:
 //!
-//! Value semantics are pluggable through the [`Algebra`] trait; two
-//! workloads ship built in and double as correctness oracles against
+//! * a **batch-dynamic** update API: cached subtree values are recovered
+//!   for every node by backsolving the trace, and batches of
+//!   [`cut`](DynForest::try_batch_cut) / [`link`](DynForest::try_batch_link) /
+//!   [`weight`](DynForest::batch_update_weights) edits re-run contraction
+//!   only on the dirty set;
+//! * a **batch query** engine: a [`QueryBatch`] of mixed subtree / path /
+//!   LCA / component queries resolves in a single pass over the
+//!   contraction DAG — one `O(n)` context sweep plus `O(log n)` per query
+//!   along the trace's shortcut pointers — instead of one tree walk per
+//!   query (see the [`query`] module docs for the construction).
+//!
+//! Value semantics are pluggable through the [`Algebra`] trait; shipped
+//! instances double as correctness oracles against
 //! [`Forest::sequential_fold`]:
 //!
 //! * [`SubtreeSum`] — weighted subtree sums;
 //! * [`ExprEval`] — `+`/`×` expression-tree evaluation via affine function
-//!   composition.
+//!   composition;
+//! * [`MinMax`] — subtree extrema;
+//! * [`OrderedRake`] — adapter giving any associative [`SeqMonoid`]
+//!   **preorder** (non-commutative) semantics via sibling-indexed rake,
+//!   e.g. [`SeqHash`], a rolling hash of the preorder label sequence.
 //!
-//! The per-round planning phase is parallelized with scoped threads behind
-//! the `parallel` feature (dependency-free; see `par.rs`).
+//! [`SubtreeSum`], [`ExprEval`] and [`MinMax`] are also [`PathAlgebra`]s,
+//! so they answer path-aggregate queries.
+//!
+//! Per-round planning and batch query resolution are parallelized with
+//! scoped threads behind the `parallel` feature (dependency-free; see
+//! `par.rs`).
 //!
 //! Everything the engine does is observable through the [`obs`] module: a
 //! statically-dispatched [`obs::Sink`] receives phase spans
@@ -29,33 +44,36 @@
 //! compiles all instrumentation out.
 //!
 //! ```
-//! use dtc_core::obs::Phase;
-//! use dtc_core::{DynForest, Forest, SubtreeSum};
+//! use dtc_core::{Answer, DynForest, Forest, QueryBatch, SubtreeSum};
 //!
 //! let mut f = Forest::new();
 //! let root = f.add_root(1i64);
 //! let mid = f.add_child(root, 2);
 //! let leaf = f.add_child(mid, 3);
 //!
-//! // Static contraction.
-//! assert_eq!(*f.contract(&SubtreeSum).subtree_value(root), 6);
+//! // Static contraction via the builder; seed/profiling are opt-in.
+//! let c = f.contraction().run(&SubtreeSum);
+//! assert_eq!(*c.subtree_value(root), 6);
+//! let p = f.contraction().seed(0x5EED).profiled().run(&SubtreeSum);
+//! assert_eq!(p.profile().unwrap().total_retired(), 3);
 //!
-//! // Profiled contraction: same result, plus a telemetry report.
-//! let c = f.contract_profiled(&SubtreeSum, 0x5EED);
-//! let prof = c.profile().unwrap();
-//! assert_eq!(prof.total_retired(), 3); // every node died exactly once
-//! assert_eq!(prof.phase_stats(Phase::Plan).spans() as u32, c.rounds());
+//! // Batch queries over the same contraction: one trace pass, many answers.
+//! let mut batch = QueryBatch::new();
+//! batch.subtree(mid).path(leaf, root).lca(leaf, mid).component_root(leaf);
+//! let answers = c.query_batch(&f, &SubtreeSum, &batch).unwrap();
+//! assert_eq!(answers[0], Ok(Answer::Value(5)));
+//! assert_eq!(answers[1], Ok(Answer::PathValue(6)));
+//! assert_eq!(answers[2], Ok(Answer::Node(mid)));
+//! assert_eq!(answers[3], Ok(Answer::Node(root)));
 //!
-//! // Batch-dynamic updates, with per-recompute engine counters.
+//! // Batch-dynamic updates with non-panicking edits and explicit staleness.
 //! let mut d = DynForest::new(f, SubtreeSum);
-//! d.enable_profiling();
 //! d.batch_update_weights(&[(leaf, 30)]);
-//! let stats = d.recompute();
+//! assert!(d.try_subtree_value(root).is_err()); // stale until recompute
+//! d.recompute();
 //! assert_eq!(*d.subtree_value(root), 33);
-//! assert!(stats.dirty <= 3);
-//! let counters = stats.counters.unwrap();
-//! assert_eq!(counters.retired(), stats.dirty as u64);
-//! println!("{stats}");
+//! let answers = d.query_batch(&batch).unwrap();
+//! assert_eq!(answers[0], Ok(Answer::Value(32)));
 //! ```
 
 #![warn(missing_docs)]
@@ -68,11 +86,17 @@ mod dynamic;
 mod engine;
 pub mod gen;
 pub mod obs;
+mod ordered;
 mod par;
+pub mod query;
 mod rng;
 
-pub use algebra::{Affine, Algebra, ExprAcc, ExprEval, ExprLabel, ExprOp, SubtreeSum};
+pub use algebra::{
+    Affine, Algebra, ExprAcc, ExprEval, ExprLabel, ExprOp, Extrema, MinMax, PathAlgebra, SubtreeSum,
+};
 pub use arena::{Forest, NodeId};
-pub use contract::Contraction;
-pub use dynamic::{DynForest, UpdateStats};
+pub use contract::{ContractOptions, Contraction};
+pub use dynamic::{DynForest, EditError, UpdateStats};
 pub use obs::Profile;
+pub use ordered::{HashSeq, OrderedRake, Sandwich, SeqAcc, SeqHash, SeqMonoid};
+pub use query::{Answer, Query, QueryBatch, QueryError, QueryOutcome};

@@ -29,7 +29,7 @@
 //! use dtc_core::{gen, SubtreeSum};
 //!
 //! let f = gen::random_tree(1_000, 42);
-//! let c = f.contract_profiled(&SubtreeSum, 0xC0FFEE);
+//! let c = f.contraction().seed(0xC0FFEE).profiled().run(&SubtreeSum);
 //! let prof = c.profile().unwrap();
 //! assert_eq!(prof.total_retired(), 1_000); // every node died exactly once
 //! assert!(prof.phase_stats(Phase::Plan).spans() >= 1);

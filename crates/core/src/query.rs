@@ -1,0 +1,626 @@
+//! Batch query engine over the recorded contraction trace.
+//!
+//! A [`QueryBatch`] resolves thousands of heterogeneous queries — subtree
+//! aggregates, path aggregates, LCAs, component roots/values — against one
+//! [`Contraction`] in a **single pass** over the contraction DAG, instead
+//! of walking the tree once per query.
+//!
+//! The enabling observation: the engine records, for every node, its
+//! *working parent at death* ([`Contraction::trace_parent`]). Those
+//! pointers form a shortcut tree of depth ≤ rounds (`O(log n)` w.h.p.),
+//! and each shortcut hop `x → up(x)` skips the chain of `x`'s successive
+//! working parents that were compressed out from directly above it — its
+//! *victims*, which the trace records bottom-to-top. The skipped gap is
+//! recursive: between two consecutive victims of `x` lie the earlier
+//! victim's own victims, and so on. Since a victim always dies strictly
+//! before its host, the nesting depth is bounded by the round count, so
+//! any point of the original ancestor path is reachable by `O(log n)`
+//! shortcut hops plus an `O(log n)`-deep descent through nested victim
+//! lists. Everything a query needs is a walk of that structure:
+//!
+//! * **component root / value** — precomputed for all nodes in the single
+//!   context pass, then `O(1)` per query;
+//! * **LCA(u, v)** — climb `u`'s shortcut chain to the first hop whose top
+//!   is an ancestor of `v` (constant-time ancestor tests via Euler
+//!   intervals from the context pass), then descend: binary-search each
+//!   victim list for the lowest ancestor of `v` and recurse into the gap
+//!   just below it — the first node of `u`'s ancestor path that is also
+//!   an ancestor of `v` *is* the LCA;
+//! * **path aggregate** — fold labels along both climbs to the LCA. The
+//!   context pass precomputes every victim's *closed weight* (its label
+//!   joined with its entire recursive gap) and per-hop prefix folds of
+//!   those, so a full hop contributes in `O(1)` and the final partial hop
+//!   in an `O(log²)` descent. Requires a [`PathAlgebra`].
+//!
+//! Resolution cost is one `O(n)` context pass per batch plus `O(log² n)`
+//! per query, so a 1k-query batch on a 100k-node path costs ~`n` work
+//! where 1k naive walks would cost ~`n · k`. Queries are dispatched in
+//! ascending death round of their anchor node (queries touching the same
+//! region of the DAG run together), and the dispatch loop fans out over
+//! scoped threads behind the `parallel` feature.
+//!
+//! The API is uniformly non-panicking: per-query failures (unknown node
+//! ids) come back as per-query `Err`s, cross-component path/LCA queries
+//! answer [`Answer::NotConnected`], and batch-level misuse (mismatched
+//! forest, stale [`DynForest`](crate::DynForest)) is a batch-level `Err`.
+//!
+//! ```
+//! use dtc_core::{gen, Answer, Query, QueryBatch, SubtreeSum};
+//! let f = gen::random_tree(1_000, 7);
+//! let c = f.contraction().run(&SubtreeSum);
+//! let mut batch = QueryBatch::new();
+//! batch
+//!     .subtree(dtc_core::NodeId::from_index(10))
+//!     .lca(dtc_core::NodeId::from_index(5), dtc_core::NodeId::from_index(900))
+//!     .path(dtc_core::NodeId::from_index(5), dtc_core::NodeId::from_index(900));
+//! let answers = c.query_batch(&f, &SubtreeSum, &batch).unwrap();
+//! assert_eq!(answers.len(), 3);
+//! assert!(matches!(answers[1], Ok(Answer::Node(_))));
+//! ```
+
+use crate::algebra::{Algebra, PathAlgebra};
+use crate::arena::{Forest, NONE};
+use crate::contract::Contraction;
+use crate::{par, NodeId};
+use std::fmt;
+
+/// One query against a contracted forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// Aggregate of the subtree rooted at the node →
+    /// [`Answer::Value`].
+    Subtree(NodeId),
+    /// Fold of the labels on the tree path between the two nodes
+    /// (inclusive) → [`Answer::PathValue`], or [`Answer::NotConnected`].
+    Path(NodeId, NodeId),
+    /// Lowest common ancestor of the two nodes → [`Answer::Node`], or
+    /// [`Answer::NotConnected`].
+    Lca(NodeId, NodeId),
+    /// Root of the node's component → [`Answer::Node`].
+    ComponentRoot(NodeId),
+    /// Aggregate of the node's whole component → [`Answer::Value`].
+    ComponentValue(NodeId),
+}
+
+impl Query {
+    /// The node whose death round orders this query during dispatch.
+    fn anchor(&self) -> NodeId {
+        match *self {
+            Query::Subtree(v)
+            | Query::Path(v, _)
+            | Query::Lca(v, _)
+            | Query::ComponentRoot(v)
+            | Query::ComponentValue(v) => v,
+        }
+    }
+}
+
+/// A batch of mixed queries, resolved together by
+/// [`Contraction::query_batch`] or
+/// [`DynForest::query_batch`](crate::DynForest::query_batch).
+#[derive(Debug, Clone, Default)]
+pub struct QueryBatch {
+    queries: Vec<Query>,
+}
+
+impl QueryBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty batch with room for `n` queries.
+    pub fn with_capacity(n: usize) -> Self {
+        QueryBatch {
+            queries: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends an arbitrary [`Query`].
+    pub fn push(&mut self, q: Query) -> &mut Self {
+        self.queries.push(q);
+        self
+    }
+
+    /// Appends a [`Query::Subtree`].
+    pub fn subtree(&mut self, v: NodeId) -> &mut Self {
+        self.push(Query::Subtree(v))
+    }
+
+    /// Appends a [`Query::Path`].
+    pub fn path(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.push(Query::Path(u, v))
+    }
+
+    /// Appends a [`Query::Lca`].
+    pub fn lca(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.push(Query::Lca(u, v))
+    }
+
+    /// Appends a [`Query::ComponentRoot`].
+    pub fn component_root(&mut self, v: NodeId) -> &mut Self {
+        self.push(Query::ComponentRoot(v))
+    }
+
+    /// Appends a [`Query::ComponentValue`].
+    pub fn component_value(&mut self, v: NodeId) -> &mut Self {
+        self.push(Query::ComponentValue(v))
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` when the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The queries, in insertion order (answers come back in this order).
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+}
+
+impl FromIterator<Query> for QueryBatch {
+    fn from_iter<I: IntoIterator<Item = Query>>(iter: I) -> Self {
+        QueryBatch {
+            queries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Query> for QueryBatch {
+    fn extend<I: IntoIterator<Item = Query>>(&mut self, iter: I) {
+        self.queries.extend(iter);
+    }
+}
+
+/// Successful answer to one [`Query`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Answer<V, P> {
+    /// A subtree or component aggregate.
+    Value(V),
+    /// A path aggregate.
+    PathValue(P),
+    /// A node (LCA or component root).
+    Node(NodeId),
+    /// The two endpoints of a [`Query::Path`] / [`Query::Lca`] lie in
+    /// different components.
+    NotConnected,
+}
+
+/// Why a query (or a whole batch) could not be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query names a node id outside the forest.
+    UnknownNode {
+        /// The offending id.
+        node: NodeId,
+        /// Number of nodes in the forest.
+        nodes: usize,
+    },
+    /// The node's cached value is stale (pending edits not yet
+    /// recomputed); call [`DynForest::recompute`](crate::DynForest::recompute).
+    Stale {
+        /// The dirty node.
+        node: NodeId,
+    },
+    /// The [`DynForest`](crate::DynForest) has pending edits; call
+    /// [`recompute`](crate::DynForest::recompute) before querying.
+    PendingEdits {
+        /// Nodes currently marked dirty.
+        pending: usize,
+    },
+    /// The forest passed to [`Contraction::query_batch`] is not the one
+    /// that was contracted (node counts differ).
+    ForestMismatch {
+        /// Nodes in the forest argument.
+        forest_nodes: usize,
+        /// Nodes in the contraction.
+        contraction_nodes: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            QueryError::UnknownNode { node, nodes } => {
+                write!(f, "query names {node} but the forest has {nodes} nodes")
+            }
+            QueryError::Stale { node } => {
+                write!(f, "{node} has pending updates; call recompute()")
+            }
+            QueryError::PendingEdits { pending } => {
+                write!(
+                    f,
+                    "forest has {pending} nodes with pending updates; call recompute()"
+                )
+            }
+            QueryError::ForestMismatch {
+                forest_nodes,
+                contraction_nodes,
+            } => write!(
+                f,
+                "forest has {forest_nodes} nodes but the contraction covered {contraction_nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Per-query result type of a batch resolution under algebra `A`.
+pub type QueryOutcome<A> =
+    Result<Answer<<A as Algebra>::Val, <A as PathAlgebra>::PathVal>, QueryError>;
+
+/// Per-batch context: one `O(n)` pass over the forest + trace, shared by
+/// every query in the batch.
+struct Ctx<P> {
+    /// Euler entry time (ancestor tests in O(1)).
+    tin: Vec<u32>,
+    /// Euler exit time.
+    tout: Vec<u32>,
+    /// Component root of every node.
+    root: Vec<u32>,
+    /// Prefix folds of victim *closed weights* (label ⊕ entire recursive
+    /// gap) within each hop's victim segment, aligned with
+    /// `Contraction::hop_victims`.
+    hop_pref: Vec<P>,
+}
+
+impl<P> Ctx<P> {
+    /// `true` iff `a` is an ancestor of `b` (or equal).
+    #[inline]
+    fn is_anc(&self, a: u32, b: u32) -> bool {
+        self.tin[a as usize] <= self.tin[b as usize]
+            && self.tout[b as usize] <= self.tout[a as usize]
+    }
+}
+
+fn build_ctx<A: PathAlgebra>(
+    forest: &Forest<A::Label>,
+    c: &Contraction<A>,
+    alg: &A,
+) -> Ctx<A::PathVal> {
+    let n = forest.len();
+    // Child lists in flat CSR form (one allocation, children in id order —
+    // the same order `Forest::build_children` derives).
+    let mut kid_off = vec![0u32; n + 1];
+    for v in 0..n as u32 {
+        let p = forest.parent(NodeId(v));
+        if let Some(p) = p {
+            kid_off[p.index() + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        kid_off[i + 1] += kid_off[i];
+    }
+    let mut cursor = kid_off.clone();
+    let mut kids = vec![0u32; n.saturating_sub(forest.roots().count())];
+    for v in 0..n as u32 {
+        if let Some(p) = forest.parent(NodeId(v)) {
+            kids[cursor[p.index()] as usize] = v;
+            cursor[p.index()] += 1;
+        }
+    }
+
+    let mut tin = vec![0u32; n];
+    let mut tout = vec![0u32; n];
+    let mut root = vec![0u32; n];
+    let mut clock = 0u32;
+    let mut stack: Vec<(u32, u32)> = Vec::new();
+    for r in forest.roots() {
+        let rr = r.raw();
+        tin[rr as usize] = clock;
+        clock += 1;
+        root[rr as usize] = rr;
+        stack.push((rr, kid_off[rr as usize]));
+        while let Some((u, ci)) = stack.last_mut() {
+            let u = *u;
+            if *ci < kid_off[u as usize + 1] {
+                let k = kids[*ci as usize];
+                *ci += 1;
+                tin[k as usize] = clock;
+                clock += 1;
+                root[k as usize] = rr;
+                stack.push((k, kid_off[k as usize]));
+            } else {
+                tout[u as usize] = clock;
+                clock += 1;
+                stack.pop();
+            }
+        }
+    }
+
+    // Closed weight of a victim `y`: C(y) = label(y) ⊕ G(y), where
+    // G(y) folds the closed weights of y's own victims — i.e. everything
+    // strictly between y and up[y], recursively. A victim dies strictly
+    // before its host (the host still has a live child when the victim is
+    // spliced), so one sweep in ascending death round completes every G
+    // before it is read. Rounds are small, so counting sort.
+    let mut host = vec![NONE; n];
+    for x in 0..n {
+        let (lo, hi) = (c.hop_off[x] as usize, c.hop_off[x + 1] as usize);
+        for &vt in &c.hop_victims[lo..hi] {
+            host[vt as usize] = x as u32;
+        }
+    }
+    let rounds = c.rounds() as usize;
+    let mut by_round: Vec<Vec<u32>> = vec![Vec::new(); rounds + 1];
+    for (v, &h) in host.iter().enumerate() {
+        if h != NONE {
+            by_round[c.death_round(NodeId(v as u32)) as usize].push(v as u32);
+        }
+    }
+    let mut gap: Vec<A::PathVal> = (0..n).map(|_| alg.path_empty()).collect();
+    let mut closed: Vec<A::PathVal> = (0..n).map(|_| alg.path_empty()).collect();
+    for bucket in &by_round {
+        for &y in bucket {
+            let yi = y as usize;
+            let cy = alg.path_concat(&alg.path_of(forest.label(NodeId(y))), &gap[yi]);
+            let h = host[yi] as usize;
+            gap[h] = alg.path_concat(&gap[h], &cy);
+            closed[yi] = cy;
+        }
+    }
+    let mut hop_pref: Vec<A::PathVal> = Vec::with_capacity(c.hop_victims.len());
+    for x in 0..n {
+        let (lo, hi) = (c.hop_off[x] as usize, c.hop_off[x + 1] as usize);
+        let mut acc = alg.path_empty();
+        for &vt in &c.hop_victims[lo..hi] {
+            acc = alg.path_concat(&acc, &closed[vt as usize]);
+            hop_pref.push(acc.clone());
+        }
+    }
+
+    Ctx {
+        tin,
+        tout,
+        root,
+        hop_pref,
+    }
+}
+
+/// Lowest common ancestor via the shortcut chain: climb from `u` until the
+/// hop's top is an ancestor of `v`; the LCA then lies in that hop's gap
+/// (or is the hop top itself). Within a victim list, "is an ancestor of
+/// `v`" is monotone bottom-to-top, so binary-search the first ancestor —
+/// but the true LCA may sit *inside* the recursive gap just below it, so
+/// descend into the preceding victim's own list and repeat. Each descent
+/// moves to a strictly earlier death round, bounding the depth by the
+/// round count.
+fn lca_raw<A: Algebra, P>(c: &Contraction<A>, ctx: &Ctx<P>, u: u32, v: u32) -> Option<u32> {
+    if ctx.root[u as usize] != ctx.root[v as usize] {
+        return None;
+    }
+    if ctx.is_anc(u, v) {
+        return Some(u);
+    }
+    if ctx.is_anc(v, u) {
+        return Some(v);
+    }
+    let mut x = u;
+    let mut fallback = loop {
+        let nxt = c.up[x as usize];
+        debug_assert!(nxt != NONE, "climb passed the component root");
+        if ctx.is_anc(nxt, v) {
+            break nxt;
+        }
+        x = nxt;
+    };
+    // The LCA is the lowest ancestor of `v` in gap(x) ∪ {fallback}.
+    loop {
+        let (lo, hi) = (
+            c.hop_off[x as usize] as usize,
+            c.hop_off[x as usize + 1] as usize,
+        );
+        let seg = &c.hop_victims[lo..hi];
+        let idx = seg.partition_point(|&vt| !ctx.is_anc(vt, v));
+        if idx == 0 {
+            // Nothing lies strictly between a node and its first victim
+            // (resp. its shortcut parent, when the list is empty).
+            return Some(if seg.is_empty() { fallback } else { seg[0] });
+        }
+        if idx < seg.len() {
+            fallback = seg[idx];
+        }
+        x = seg[idx - 1];
+    }
+}
+
+/// Fold of the labels on `[u, w)` — `u` inclusive, the ancestor `w`
+/// exclusive — along the shortcut chain; `None` when `u == w`. Full hops
+/// cost `O(1)` via the closed-weight prefix aggregates; once `w` falls
+/// within a hop's gap, descend through the nested victim lists. All
+/// chain nodes are ancestors of `u` and hence pairwise comparable, so
+/// "strictly below `w`" is just an Euler `tin` comparison, monotone along
+/// each victim list (which ascends the tree, i.e. has decreasing `tin`).
+fn seg_to_excl<A: PathAlgebra>(
+    forest: &Forest<A::Label>,
+    c: &Contraction<A>,
+    ctx: &Ctx<A::PathVal>,
+    alg: &A,
+    u: u32,
+    w: u32,
+) -> Option<A::PathVal> {
+    if u == w {
+        return None;
+    }
+    let mut x = u;
+    let mut acc = alg.path_of(forest.label(NodeId(u)));
+    // Climb full hops while `w` is above the hop top.
+    loop {
+        let nxt = c.up[x as usize];
+        debug_assert!(nxt != NONE, "segment climb passed the component root");
+        let (lo, hi) = (
+            c.hop_off[x as usize] as usize,
+            c.hop_off[x as usize + 1] as usize,
+        );
+        if nxt == w {
+            // The whole gap lies strictly below `w`.
+            if hi > lo {
+                acc = alg.path_concat(&acc, &ctx.hop_pref[hi - 1]);
+            }
+            return Some(acc);
+        }
+        if ctx.is_anc(nxt, w) {
+            // `w` sits strictly inside gap(x): stop climbing and descend.
+            break;
+        }
+        if hi > lo {
+            acc = alg.path_concat(&acc, &ctx.hop_pref[hi - 1]);
+        }
+        acc = alg.path_concat(&acc, &alg.path_of(forest.label(NodeId(nxt))));
+        x = nxt;
+    }
+    // `w` is strictly between `x` and `up[x]`; fold the part of the gap
+    // below `w`, descending into nested victim lists as needed.
+    loop {
+        let (lo, hi) = (
+            c.hop_off[x as usize] as usize,
+            c.hop_off[x as usize + 1] as usize,
+        );
+        let seg = &c.hop_victims[lo..hi];
+        // Victims strictly below `w` (deeper ⇒ larger tin on a chain).
+        let idx = seg.partition_point(|&vt| ctx.tin[vt as usize] > ctx.tin[w as usize]);
+        if idx < seg.len() && seg[idx] == w {
+            // Everything below `w` in this gap: the closed prefix.
+            if idx > 0 {
+                acc = alg.path_concat(&acc, &ctx.hop_pref[lo + idx - 1]);
+            }
+            return Some(acc);
+        }
+        // `w` nests inside the gap of the victim just below it. `idx ≥ 1`:
+        // nothing lies strictly between `x` and its first victim, so `w`
+        // below `seg[0]` is impossible here.
+        debug_assert!(idx >= 1, "exclusive bound escaped the gap");
+        if idx >= 2 {
+            acc = alg.path_concat(&acc, &ctx.hop_pref[lo + idx - 2]);
+        }
+        acc = alg.path_concat(&acc, &alg.path_of(forest.label(NodeId(seg[idx - 1]))));
+        x = seg[idx - 1];
+    }
+}
+
+fn resolve_one<A: PathAlgebra>(
+    forest: &Forest<A::Label>,
+    c: &Contraction<A>,
+    ctx: &Ctx<A::PathVal>,
+    alg: &A,
+    q: &Query,
+) -> QueryOutcome<A> {
+    let n = forest.len();
+    let check = |v: NodeId| -> Result<u32, QueryError> {
+        if v.index() < n {
+            Ok(v.raw())
+        } else {
+            Err(QueryError::UnknownNode { node: v, nodes: n })
+        }
+    };
+    match *q {
+        Query::Subtree(v) => {
+            let v = check(v)?;
+            Ok(Answer::Value(c.values()[v as usize].clone()))
+        }
+        Query::ComponentRoot(v) => {
+            let v = check(v)?;
+            Ok(Answer::Node(NodeId(ctx.root[v as usize])))
+        }
+        Query::ComponentValue(v) => {
+            let v = check(v)?;
+            Ok(Answer::Value(
+                c.values()[ctx.root[v as usize] as usize].clone(),
+            ))
+        }
+        Query::Lca(u, v) => {
+            let (u, v) = (check(u)?, check(v)?);
+            Ok(match lca_raw(c, ctx, u, v) {
+                Some(w) => Answer::Node(NodeId(w)),
+                None => Answer::NotConnected,
+            })
+        }
+        Query::Path(u, v) => {
+            let (u, v) = (check(u)?, check(v)?);
+            let Some(w) = lca_raw(c, ctx, u, v) else {
+                return Ok(Answer::NotConnected);
+            };
+            let mut agg = alg.path_of(forest.label(NodeId(w)));
+            if let Some(s) = seg_to_excl(forest, c, ctx, alg, u, w) {
+                agg = alg.path_concat(&agg, &s);
+            }
+            if let Some(s) = seg_to_excl(forest, c, ctx, alg, v, w) {
+                agg = alg.path_concat(&agg, &s);
+            }
+            Ok(Answer::PathValue(agg))
+        }
+    }
+}
+
+impl<A: Algebra> Contraction<A> {
+    /// Resolves a whole [`QueryBatch`] in one pass over the recorded
+    /// contraction trace.
+    ///
+    /// `forest` must be the forest this contraction was computed from, and
+    /// `alg` the same algebra (both are needed for labels and path folds;
+    /// a node-count mismatch is rejected with
+    /// [`QueryError::ForestMismatch`]).
+    ///
+    /// Answers come back in query order. Per-query problems (unknown ids)
+    /// surface as per-query `Err`s; path/LCA queries across components
+    /// answer [`Answer::NotConnected`]. Nothing panics.
+    ///
+    /// Queries are dispatched in ascending death round of their anchor
+    /// node, so queries touching the same region of the trace resolve
+    /// together; with the `parallel` feature the dispatch loop fans out
+    /// over scoped threads in query chunks (hence the `Send + Sync`
+    /// bounds, which every shipped algebra satisfies).
+    pub fn query_batch(
+        &self,
+        forest: &Forest<A::Label>,
+        alg: &A,
+        batch: &QueryBatch,
+    ) -> Result<Vec<QueryOutcome<A>>, QueryError>
+    where
+        A: PathAlgebra + Sync,
+        A::Label: Sync,
+        A::Val: Send + Sync,
+        A::PathVal: Send + Sync,
+    {
+        let n = self.values().len();
+        if forest.len() != n {
+            return Err(QueryError::ForestMismatch {
+                forest_nodes: forest.len(),
+                contraction_nodes: n,
+            });
+        }
+        let ctx = build_ctx(forest, self, alg);
+        let queries = batch.queries();
+
+        // Dispatch in ascending death round of each query's anchor so
+        // queries entering the trace at the same rounds run adjacently.
+        let mut slots: Vec<(u32, Option<QueryOutcome<A>>)> =
+            (0..queries.len() as u32).map(|i| (i, None)).collect();
+        slots.sort_by_key(|&(i, _)| {
+            let a = queries[i as usize].anchor();
+            if a.index() < n {
+                self.death_round(a)
+            } else {
+                u32::MAX
+            }
+        });
+        par::for_each_indexed(&mut slots, |_, (qi, slot)| {
+            *slot = Some(resolve_one(forest, self, &ctx, alg, &queries[*qi as usize]));
+        });
+
+        let mut out: Vec<Option<QueryOutcome<A>>> = (0..queries.len()).map(|_| None).collect();
+        for (qi, slot) in slots {
+            out[qi as usize] = slot;
+        }
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("every query resolved"))
+            .collect())
+    }
+}

@@ -7,7 +7,7 @@ use dtc_core::{DynForest, Forest, SubtreeSum};
 #[test]
 fn empty_forest() {
     let f = Forest::<i64>::new();
-    let c = f.contract(&SubtreeSum);
+    let c = f.contraction().run(&SubtreeSum);
     assert!(c.components().is_empty());
     assert_eq!(c.rounds(), 0);
     assert!(f.sequential_fold(&SubtreeSum).is_empty());
@@ -22,7 +22,7 @@ fn empty_forest() {
 fn single_node() {
     let mut f = Forest::new();
     let r = f.add_root(42i64);
-    let c = f.contract(&SubtreeSum);
+    let c = f.contraction().run(&SubtreeSum);
     assert_eq!(c.components(), &[(r, 42)]);
     assert_eq!(*c.subtree_value(r), 42);
     assert_eq!(c.rounds(), 1);
@@ -33,7 +33,7 @@ fn two_node_tree() {
     let mut f = Forest::new();
     let r = f.add_root(1i64);
     let c = f.add_child(r, 2);
-    let res = f.contract(&SubtreeSum);
+    let res = f.contraction().run(&SubtreeSum);
     assert_eq!(*res.subtree_value(r), 3);
     assert_eq!(*res.subtree_value(c), 2);
     // Leaf rakes in round 1, root finishes in round 2.
@@ -48,7 +48,7 @@ fn deep_path_is_recursion_free() {
     let n = 100_000;
     let f = gen::path(n, 3);
     let oracle = f.sequential_fold(&SubtreeSum);
-    let c = f.contract(&SubtreeSum);
+    let c = f.contraction().run(&SubtreeSum);
     assert_eq!(c.values(), &oracle[..]);
     assert!(c.rounds() < 300, "path rounds: {}", c.rounds());
 }
@@ -57,7 +57,7 @@ fn deep_path_is_recursion_free() {
 fn forest_of_isolated_nodes() {
     let n = 1_000;
     let f = gen::random_forest(n, n, 8);
-    let c = f.contract(&SubtreeSum);
+    let c = f.contraction().run(&SubtreeSum);
     assert_eq!(c.components().len(), n);
     assert_eq!(c.rounds(), 1);
     for (root, val) in c.components() {
@@ -68,7 +68,7 @@ fn forest_of_isolated_nodes() {
 #[test]
 fn forest_of_disconnected_components() {
     let f = gen::random_forest(10_000, 37, 15);
-    let c = f.contract(&SubtreeSum);
+    let c = f.contraction().run(&SubtreeSum);
     let oracle = f.sequential_fold(&SubtreeSum);
     assert_eq!(c.components().len(), 37);
     assert_eq!(c.values(), &oracle[..]);

@@ -18,7 +18,7 @@ fn assert_matches_oracle(d: &DynForest<SubtreeSum>, context: &str) {
 #[test]
 fn initial_contraction_matches_static() {
     let f = gen::random_tree(5_000, 21);
-    let stat = f.contract(&SubtreeSum);
+    let stat = f.contraction().run(&SubtreeSum);
     let d = DynForest::new(f, SubtreeSum);
     for v in d.forest().node_ids() {
         assert_eq!(d.subtree_value(v), stat.subtree_value(v));
@@ -86,7 +86,7 @@ fn batch_of_mixed_ops_in_one_recompute() {
 fn thousand_edge_cut_link_round_trip_is_incremental() {
     let n = 100_000usize;
     let forest = gen::random_tree(n, 1234);
-    let original = forest.contract(&SubtreeSum);
+    let original = forest.contraction().run(&SubtreeSum);
     let mut d = DynForest::new(forest, SubtreeSum);
 
     // Pick 1k distinct non-root nodes and remember their parents.

@@ -8,7 +8,7 @@ use dtc_core::{gen, DynForest, Forest, NodeId, SubtreeSum};
 /// `rakes + splices + finishes == n`, and within each round the retirements
 /// account exactly for the frontier shrinkage.
 fn assert_conservation(f: &Forest<i64>, n: u64) {
-    let c = f.contract_profiled(&SubtreeSum, 0xAB5EED);
+    let c = f.contraction().seed(0xAB5EED).profiled().run(&SubtreeSum);
     let prof = c.profile().expect("contract_profiled attaches a profile");
     assert_eq!(prof.runs(), if n == 0 { 0 } else { 1 });
     assert_eq!(prof.total_retired(), n, "every node dies exactly once");
@@ -48,8 +48,8 @@ fn counters_conserve_nodes_across_shapes() {
 #[test]
 fn profiled_contraction_matches_unprofiled() {
     let f = gen::random_tree(10_000, 33);
-    let profiled = f.contract_profiled(&SubtreeSum, 0x1234);
-    let plain = f.contract_seeded(&SubtreeSum, 0x1234);
+    let profiled = f.contraction().seed(0x1234).profiled().run(&SubtreeSum);
+    let plain = f.contraction().seed(0x1234).run(&SubtreeSum);
     assert_eq!(profiled.values(), plain.values());
     assert_eq!(profiled.components(), plain.components());
     assert_eq!(profiled.rounds(), plain.rounds());
@@ -62,7 +62,7 @@ fn profiled_contraction_matches_unprofiled() {
 #[test]
 fn phase_spans_track_rounds() {
     let f = gen::random_tree(5_000, 5);
-    let c = f.contract_profiled(&SubtreeSum, 0x77);
+    let c = f.contraction().seed(0x77).profiled().run(&SubtreeSum);
     let prof = c.profile().unwrap();
     let rounds = c.rounds() as u64;
     assert_eq!(prof.phase_stats(Phase::Plan).spans(), rounds);
@@ -78,7 +78,7 @@ fn phase_spans_track_rounds() {
 #[test]
 fn paths_exercise_splices_and_coin_rejections() {
     let f = gen::path(10_000, 1);
-    let c = f.contract_profiled(&SubtreeSum, 0x5EED);
+    let c = f.contraction().seed(0x5EED).profiled().run(&SubtreeSum);
     let prof = c.profile().unwrap();
     assert!(prof.total_splices() > 0, "a long chain must compress");
     assert!(
@@ -86,7 +86,11 @@ fn paths_exercise_splices_and_coin_rejections() {
         "randomized compress must reject some candidates"
     );
     // A star never splices: the root is never unary until the very end.
-    let star = gen::star(10_000, 1).contract_profiled(&SubtreeSum, 0x5EED);
+    let star = gen::star(10_000, 1)
+        .contraction()
+        .seed(0x5EED)
+        .profiled()
+        .run(&SubtreeSum);
     assert_eq!(star.profile().unwrap().total_splices(), 0);
 }
 
@@ -227,7 +231,10 @@ fn custom_sinks_receive_the_stream() {
 
     let f = gen::random_tree(2_000, 11);
     let mut sink = CountingSink::default();
-    let c = f.contract_with(&SubtreeSum, 0x5EED, &mut sink);
+    let c = f
+        .contraction()
+        .seed(0x5EED)
+        .run_with(&SubtreeSum, &mut sink);
     assert_eq!(sink.rounds, c.rounds() as u64);
     assert_eq!(sink.retired, 2_000);
     // plan + apply per round, plus one backsolve span.
@@ -236,7 +243,11 @@ fn custom_sinks_receive_the_stream() {
 
 #[test]
 fn profile_display_renders_report() {
-    let c = gen::random_tree(1_000, 2).contract_profiled(&SubtreeSum, 0x5EED);
+    let c = gen::random_tree(1_000, 2)
+        .contraction()
+        .seed(0x5EED)
+        .profiled()
+        .run(&SubtreeSum);
     let report = c.profile().unwrap().to_string();
     for needle in [
         "profile:",

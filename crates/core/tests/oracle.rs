@@ -9,7 +9,7 @@ where
     A: Algebra,
     A::Val: PartialEq + std::fmt::Debug,
 {
-    let contraction = forest.contract_seeded(alg, seed);
+    let contraction = forest.contraction().seed(seed).run(alg);
     let oracle = forest.sequential_fold(alg);
     for v in forest.node_ids() {
         assert_eq!(
@@ -65,7 +65,7 @@ fn sum_matches_oracle_on_paths_stars_caterpillars() {
 fn sum_matches_oracle_on_100k_random_tree() {
     let n = 100_000;
     let f = gen::random_tree(n, 4242);
-    let contraction = f.contract(&SubtreeSum);
+    let contraction = f.contraction().run(&SubtreeSum);
     let oracle = f.sequential_fold(&SubtreeSum);
     assert_eq!(contraction.values(), &oracle[..]);
     // Rake + randomized compress finishes in O(log n) rounds w.h.p.
@@ -97,9 +97,9 @@ fn expr_matches_oracle_on_random_trees() {
 #[test]
 fn result_is_seed_independent() {
     let f = gen::random_tree(2_000, 77);
-    let reference = f.contract_seeded(&SubtreeSum, 0);
+    let reference = f.contraction().seed(0).run(&SubtreeSum);
     for seed in 1..=10u64 {
-        let c = f.contract_seeded(&SubtreeSum, seed);
+        let c = f.contraction().seed(seed).run(&SubtreeSum);
         assert_eq!(c.values(), reference.values(), "seed {seed}");
     }
 }
