@@ -37,7 +37,19 @@ fn shapes() -> Vec<Shape> {
 }
 
 fn main() {
+    // The per-round invariant sweep and conflict detector behind `check`
+    // turn every contraction into a validation run; any number recorded
+    // with them on is incomparable with the BENCH_*.json trajectory.
+    if dtc_core::check::enabled() {
+        eprintln!(
+            "dtc-bench: dtc-core was built with the `check` feature; \
+             refusing to record benchmark numbers from an instrumented engine"
+        );
+        std::process::exit(2);
+    }
+
     let h = Harness::from_env();
+    h.meta("check", Json::Bool(dtc_core::check::enabled()));
 
     bench_contract(&h, "contract/random_10k", &|| gen::random_tree(10_000, 42));
     for (shape, make) in shapes() {

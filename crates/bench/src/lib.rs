@@ -50,6 +50,7 @@ pub struct Harness {
     filter: Option<String>,
     json_path: Option<PathBuf>,
     records: RefCell<Vec<Record>>,
+    meta: RefCell<Vec<(String, Json)>>,
 }
 
 impl Harness {
@@ -98,6 +99,7 @@ impl Harness {
             filter,
             json_path,
             records: RefCell::new(Vec::new()),
+            meta: RefCell::new(Vec::new()),
         })
     }
 
@@ -214,6 +216,13 @@ impl Harness {
         }
     }
 
+    /// Attaches a document-level key/value to the `--json` output (next to
+    /// `schema`/`mode`), e.g. build configuration that affects whether the
+    /// numbers are comparable across records.
+    pub fn meta(&self, key: &str, value: Json) {
+        self.meta.borrow_mut().push((key.to_string(), value));
+    }
+
     /// Writes the `--json` record file, if one was requested. Call once,
     /// after the last benchmark.
     ///
@@ -246,15 +255,17 @@ impl Harness {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0);
-        let doc = Json::Obj(vec![
+        let mut members = vec![
             ("schema".to_string(), Json::str("dtc-bench/v1")),
             (
                 "mode".to_string(),
                 Json::str(if self.test_mode { "test" } else { "bench" }),
             ),
             ("unix_time_s".to_string(), Json::Num(unix_time as f64)),
-            ("benches".to_string(), Json::Arr(benches)),
-        ]);
+        ];
+        members.extend(self.meta.borrow().iter().cloned());
+        members.push(("benches".to_string(), Json::Arr(benches)));
+        let doc = Json::Obj(members);
         std::fs::write(&path, doc.to_string_pretty())
             .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
         println!("wrote benchmark record to {}", path.display());
@@ -368,6 +379,7 @@ mod tests {
         );
         // Attaching to a filtered-out/unknown bench is a silent no-op.
         h.attach("smoke/missing", "counters", Json::Null);
+        h.meta("check", Json::Bool(false));
         h.finish();
 
         let text = std::fs::read_to_string(&path).unwrap();
@@ -375,6 +387,7 @@ mod tests {
         let doc = json::parse(&text).unwrap();
         assert_eq!(doc.get("schema").unwrap().as_str(), Some("dtc-bench/v1"));
         assert_eq!(doc.get("mode").unwrap().as_str(), Some("test"));
+        assert_eq!(doc.get("check"), Some(&Json::Bool(false)));
         let benches = doc.get("benches").unwrap().as_arr().unwrap();
         assert_eq!(benches.len(), 1);
         let rec = &benches[0];

@@ -17,6 +17,8 @@
 //! All arithmetic is wrapping (`ℤ/2⁶⁴`-style), so contraction and the
 //! sequential oracle agree exactly even when products overflow.
 
+use crate::check::invariant;
+
 /// Value semantics for tree contraction.
 ///
 /// Laws the engine relies on (for labels actually used in a forest):
@@ -246,7 +248,12 @@ impl Algebra for ExprEval {
     #[inline]
     fn absorb(&self, acc: &mut ExprAcc, child: i64) {
         match acc {
-            ExprAcc::Leaf(_) => panic!("expression leaf cannot have children"),
+            // Reachable by mis-building the input (a leaf-labelled node
+            // with children), so fail through the sanctioned macro with a
+            // message naming the misuse.
+            ExprAcc::Leaf(_) => {
+                invariant!(false, "expression leaf cannot have children");
+            }
             ExprAcc::Partial { op, folded } => {
                 *folded = match op {
                     ExprOp::Add => folded.wrapping_add(child),
@@ -267,7 +274,10 @@ impl Algebra for ExprEval {
     #[inline]
     fn to_fun(&self, acc: &ExprAcc) -> Affine {
         match *acc {
-            ExprAcc::Leaf(_) => panic!("expression leaf cannot have children"),
+            ExprAcc::Leaf(_) => {
+                invariant!(false, "expression leaf cannot have children");
+                Affine::IDENTITY // never reached: the invariant always fails
+            }
             ExprAcc::Partial { op, folded } => match op {
                 ExprOp::Add => Affine { a: 1, b: folded },
                 ExprOp::Mul => Affine { a: folded, b: 0 },

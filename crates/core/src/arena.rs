@@ -221,6 +221,27 @@ impl<L> Forest<L> {
         NodeId(u)
     }
 
+    /// Verifies the structural invariants of the arena (`check` feature):
+    /// parallel label/parent arrays of equal length, every parent pointer
+    /// in range or `NONE`, and the parent graph acyclic — i.e. every node
+    /// is reachable from a root. The arena is append-only (there is no
+    /// free list), so these three properties are the whole contract.
+    ///
+    /// Returns a descriptive [`InvariantError`](crate::check::InvariantError)
+    /// for the first violation found. `O(n)`.
+    #[cfg(feature = "check")]
+    pub fn validate(&self) -> Result<(), crate::check::InvariantError> {
+        crate::check::ensure!(
+            self.labels.len() == self.parent.len(),
+            "label/parent arrays disagree: {} labels vs {} parents",
+            self.labels.len(),
+            self.parent.len()
+        );
+        // `Euler::of` re-checks parent ranges, then proves acyclicity by
+        // counting the nodes its root-down traversal reaches.
+        crate::check::Euler::of(self).map(|_| ())
+    }
+
     /// Builds child adjacency lists (index = parent, values = children).
     pub(crate) fn build_children(&self) -> Vec<Vec<u32>> {
         let mut children = vec![Vec::new(); self.len()];

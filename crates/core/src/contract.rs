@@ -79,6 +79,123 @@ impl<A: Algebra> Contraction<A> {
     pub fn profile(&self) -> Option<&Profile> {
         self.profile.as_deref()
     }
+
+    /// Verifies the structural invariants of the recorded trace against the
+    /// forest it was built from (`check` feature):
+    ///
+    /// * parallel arrays sized to the forest, and the hop CSR well-formed
+    ///   (`hop_off` monotone from 0 to `hop_victims.len()`);
+    /// * **exactly one death per node** — every node carries a round stamp
+    ///   ≥ 1 (the engine's kill hook rules out double deaths, and the hop
+    ///   lists below rule out duplicate compress records);
+    /// * `up[v] = NONE` **iff** `v` is an original root, and otherwise
+    ///   `up[v]` is an original-tree ancestor of `v` with a **strictly
+    ///   larger death round** — the monotonicity that bounds query climbs
+    ///   by the round count;
+    /// * hop-CSR partition integrity: each node appears in at most one hop
+    ///   list (a node is spliced out from above at most one surviving
+    ///   child), every victim in `hop_victims(x)` is a proper original
+    ///   ancestor of `x` strictly below `up[x]`, non-root, and listed in
+    ///   ascending death round, each dying before `x` itself.
+    ///
+    /// Returns a descriptive [`InvariantError`](crate::check::InvariantError)
+    /// for the first violation. `O(n + hops)` plus one Euler tour of the
+    /// forest.
+    #[cfg(feature = "check")]
+    pub fn validate<L>(&self, forest: &Forest<L>) -> Result<(), crate::check::InvariantError> {
+        use crate::check::{ensure, Euler};
+        let n = forest.len();
+        ensure!(
+            self.vals.len() == n
+                && self.death_round.len() == n
+                && self.up.len() == n
+                && self.hop_off.len() == n + 1,
+            "trace arrays are not sized to the forest ({n} nodes)"
+        );
+        let euler = Euler::of(forest)?;
+
+        for v in 0..n as u32 {
+            let vi = v as usize;
+            ensure!(
+                self.death_round[vi] >= 1,
+                "node n{v} never died (death round 0)"
+            );
+            let up = self.up[vi];
+            if forest.parent_raw(v) == NONE {
+                ensure!(
+                    up == NONE,
+                    "original root n{v} has trace parent n{up} instead of NONE"
+                );
+            } else {
+                ensure!(up != NONE, "non-root n{v} finished without a trace parent");
+                ensure!(
+                    (up as usize) < n,
+                    "trace parent of n{v} ({up}) is out of range"
+                );
+                ensure!(
+                    euler.is_anc(up, v) && up != v,
+                    "trace parent n{up} of n{v} is not a proper ancestor"
+                );
+                ensure!(
+                    self.death_round[up as usize] > self.death_round[vi],
+                    "death rounds not strictly increasing along up[]: n{v} (round {}) -> n{up} (round {})",
+                    self.death_round[vi],
+                    self.death_round[up as usize]
+                );
+            }
+        }
+
+        ensure!(
+            self.hop_off[0] == 0 && self.hop_off[n] as usize == self.hop_victims.len(),
+            "hop CSR offsets do not span the victim array"
+        );
+        let mut hosted = vec![false; n];
+        for x in 0..n {
+            ensure!(
+                self.hop_off[x] <= self.hop_off[x + 1],
+                "hop CSR offsets not monotone at n{x}"
+            );
+            let lo = self.hop_off[x] as usize;
+            let hi = self.hop_off[x + 1] as usize;
+            let up = self.up[x];
+            let mut prev_round = 0u32;
+            for &victim in &self.hop_victims[lo..hi] {
+                ensure!(
+                    (victim as usize) < n,
+                    "hop victim n{victim} of n{x} is out of range"
+                );
+                ensure!(
+                    !hosted[victim as usize],
+                    "node n{victim} appears in two hop lists — not a partition"
+                );
+                hosted[victim as usize] = true;
+                ensure!(
+                    forest.parent_raw(victim) != NONE,
+                    "original root n{victim} was recorded as compressed"
+                );
+                ensure!(
+                    euler.is_anc(victim, x as u32) && victim != x as u32,
+                    "hop victim n{victim} is not a proper ancestor of its host n{x}"
+                );
+                ensure!(
+                    up != NONE && euler.is_anc(up, victim) && up != victim,
+                    "hop victim n{victim} of n{x} is not strictly below up[n{x}]"
+                );
+                let vr = self.death_round[victim as usize];
+                ensure!(
+                    vr > prev_round,
+                    "hop list of n{x} not in strictly ascending death round"
+                );
+                ensure!(
+                    vr < self.death_round[x],
+                    "hop victim n{victim} (round {vr}) outlived its surviving child n{x} (round {})",
+                    self.death_round[x]
+                );
+                prev_round = vr;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Builder for a contraction run, created by [`Forest::contraction`].
@@ -204,6 +321,7 @@ where
     }
     let vals = out
         .into_iter()
+        // lint:allow(panic): the engine runs until every active node dies
         .map(|v| v.expect("every node contracted"))
         .collect();
     let (up, hop_off, hop_victims) = scratch.trace_links(n);
@@ -221,44 +339,6 @@ where
 }
 
 impl<L> Forest<L> {
-    /// Contracts the whole forest under `alg` with a default coin seed.
-    #[deprecated(note = "use `forest.contraction().run(&alg)` instead")]
-    pub fn contract<A>(&self, alg: &A) -> Contraction<A>
-    where
-        A: Algebra<Label = L>,
-    {
-        self.contraction().run(alg)
-    }
-
-    /// Contracts the whole forest under `alg`, using `seed` for the
-    /// compress coin flips.
-    #[deprecated(note = "use `forest.contraction().seed(seed).run(&alg)` instead")]
-    pub fn contract_seeded<A>(&self, alg: &A, seed: u64) -> Contraction<A>
-    where
-        A: Algebra<Label = L>,
-    {
-        self.contraction().seed(seed).run(alg)
-    }
-
-    /// Like contracting with a seed, but also collects a full [`Profile`].
-    #[deprecated(note = "use `forest.contraction().seed(seed).profiled().run(&alg)` instead")]
-    pub fn contract_profiled<A>(&self, alg: &A, seed: u64) -> Contraction<A>
-    where
-        A: Algebra<Label = L>,
-    {
-        self.contraction().seed(seed).profiled().run(alg)
-    }
-
-    /// Contracts the whole forest, streaming telemetry into `sink`.
-    #[deprecated(note = "use `forest.contraction().seed(seed).run_with(&alg, sink)` instead")]
-    pub fn contract_with<A, S>(&self, alg: &A, seed: u64, sink: &mut S) -> Contraction<A>
-    where
-        A: Algebra<Label = L>,
-        S: Sink,
-    {
-        self.contraction().seed(seed).run_with(alg, sink)
-    }
-
     /// Sequential reference evaluation: an iterative bottom-up fold that
     /// shares only the [`Algebra`] with the contraction engine, making it a
     /// correctness oracle for [`ContractOptions::run`].
@@ -290,11 +370,13 @@ impl<L> Forest<L> {
         for &u in order.iter().rev() {
             let mut acc = alg.init_acc(self.label(NodeId(u)));
             for (i, &c) in children[u as usize].iter().enumerate() {
+                // lint:allow(panic): reverse preorder folds children before parents
                 let cv = vals[c as usize].clone().expect("children folded first");
                 alg.absorb_at(&mut acc, i as u32, cv);
             }
             vals[u as usize] = Some(alg.finish(&acc));
         }
+        // lint:allow(panic): the loop above fills every slot
         vals.into_iter().map(|v| v.unwrap()).collect()
     }
 }

@@ -257,6 +257,7 @@ impl<A: Algebra> DynForest<A> {
         }
         Ok(self.subtree[v.index()]
             .as_ref()
+            // lint:allow(panic): recompute caches a value for every clean node
             .expect("clean node has a cached value"))
     }
 
@@ -268,6 +269,7 @@ impl<A: Algebra> DynForest<A> {
     /// panicking.
     pub fn subtree_value(&self, v: NodeId) -> &A::Val {
         self.try_subtree_value(v)
+            // lint:allow(panic): documented panicking API; try_subtree_value is the fallible form
             .unwrap_or_else(|e| panic!("subtree_value({v}): {e}"))
     }
 
@@ -401,6 +403,7 @@ impl<A: Algebra> DynForest<A> {
     /// rolled-back) form.
     pub fn batch_cut(&mut self, cuts: &[NodeId]) {
         self.try_batch_cut(cuts)
+            // lint:allow(panic): documented panicking API; try_batch_cut is the fallible form
             .unwrap_or_else(|e| panic!("batch_cut: {e}"));
     }
 
@@ -428,6 +431,7 @@ impl<A: Algebra> DynForest<A> {
                 Err(e) => {
                     for &child in applied.iter().rev() {
                         self.cut_one(child)
+                            // lint:allow(panic): rollback of a link we just applied cannot fail
                             .expect("applied link has a parent to cut");
                     }
                     self.record_dirty_mark(mark_start);
@@ -449,6 +453,7 @@ impl<A: Algebra> DynForest<A> {
     /// rolled-back) form.
     pub fn batch_link(&mut self, links: &[(NodeId, NodeId)]) {
         self.try_batch_link(links)
+            // lint:allow(panic): documented panicking API; try_batch_link is the fallible form
             .unwrap_or_else(|e| panic!("batch_link: {e}"));
     }
 
@@ -520,6 +525,7 @@ impl<A: Algebra> DynForest<A> {
                 } else {
                     let cached = subtree[c as usize]
                         .clone()
+                        // lint:allow(panic): only dirty nodes lose their cache, and dirt is upward-closed
                         .expect("clean child has a cached value");
                     alg.absorb_at(&mut acc, i as u32, cached);
                 }
@@ -595,6 +601,100 @@ impl<A: Algebra> DynForest<A> {
         }
         let c = self.forest.contraction().seed(self.seed).run(&self.alg);
         c.query_batch(&self.forest, &self.alg, batch)
+    }
+
+    /// Verifies the structural invariants of the dynamic layer
+    /// (`check` feature):
+    ///
+    /// * the underlying arena is well-formed ([`Forest::validate`]);
+    /// * **parent/child symmetry** — the derived adjacency is exact: every
+    ///   entry of `children[p]` names a node whose parent pointer is `p`
+    ///   and whose `child_slot` is its list position, each node appears in
+    ///   at most one child list, and the lists cover every non-root;
+    /// * **dirty-set coherence** — dirty marks are upward-closed (a dirty
+    ///   node's parent is dirty), `dirty_list` is a duplicate-free
+    ///   enumeration of exactly the flagged nodes, and every *clean* node
+    ///   has a cached subtree value for recompute to absorb.
+    ///
+    /// Returns a descriptive [`InvariantError`](crate::check::InvariantError)
+    /// for the first violation. `O(n)`.
+    #[cfg(feature = "check")]
+    pub fn validate(&self) -> Result<(), crate::check::InvariantError> {
+        use crate::check::ensure;
+        self.forest.validate()?;
+        let n = self.forest.len();
+        ensure!(
+            self.children.len() == n
+                && self.child_slot.len() == n
+                && self.subtree.len() == n
+                && self.dirty.len() == n,
+            "dynamic side tables are not sized to the forest ({n} nodes)"
+        );
+
+        let mut listed = vec![false; n];
+        let mut total_children = 0usize;
+        for (p, kids) in self.children.iter().enumerate() {
+            for (i, &c) in kids.iter().enumerate() {
+                ensure!(
+                    (c as usize) < n,
+                    "children[n{p}] contains out-of-range node {c}"
+                );
+                ensure!(!listed[c as usize], "node n{c} appears in two child lists");
+                listed[c as usize] = true;
+                ensure!(
+                    self.forest.parent_raw(c) == p as u32,
+                    "children[n{p}] lists n{c}, whose parent pointer is {}",
+                    self.forest.parent_raw(c)
+                );
+                ensure!(
+                    self.child_slot[c as usize] == i as u32,
+                    "child_slot[n{c}] = {} but n{c} sits at position {i} of n{p}'s child list",
+                    self.child_slot[c as usize]
+                );
+                total_children += 1;
+            }
+        }
+        let non_roots = (0..n as u32)
+            .filter(|&v| self.forest.parent_raw(v) != NONE)
+            .count();
+        ensure!(
+            total_children == non_roots,
+            "child lists hold {total_children} nodes but the forest has {non_roots} non-roots"
+        );
+
+        let mut in_list = vec![false; n];
+        for &u in &self.dirty_list {
+            ensure!(
+                (u as usize) < n,
+                "dirty_list contains out-of-range node {u}"
+            );
+            ensure!(!in_list[u as usize], "dirty_list lists n{u} twice");
+            in_list[u as usize] = true;
+            ensure!(
+                self.dirty[u as usize],
+                "dirty_list lists n{u}, which is not flagged dirty"
+            );
+        }
+        for v in 0..n as u32 {
+            let vi = v as usize;
+            if self.dirty[vi] {
+                ensure!(
+                    in_list[vi],
+                    "n{v} is flagged dirty but missing from dirty_list"
+                );
+                let p = self.forest.parent_raw(v);
+                ensure!(
+                    p == NONE || self.dirty[p as usize],
+                    "dirty set not upward-closed: n{v} is dirty, its parent n{p} is not"
+                );
+            } else {
+                ensure!(
+                    self.subtree[vi].is_some(),
+                    "clean node n{v} has no cached subtree value"
+                );
+            }
+        }
+        Ok(())
     }
 }
 

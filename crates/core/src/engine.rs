@@ -36,6 +36,7 @@
 
 use crate::algebra::Algebra;
 use crate::arena::NONE;
+use crate::check::{self, invariant, Cell, WriteMode};
 use crate::obs::{EngineCounters, Phase, RoundCounters, Sink};
 use crate::rng::coin;
 use crate::{par, NodeId};
@@ -178,6 +179,9 @@ impl<A: Algebra> Scratch<A> {
         let mut actions: Vec<Action> = Vec::new();
         let mut round = 0;
         let mut counters = EngineCounters::default();
+        // Shadow write-log for the conflict detector; field-less no-op
+        // without the `check` feature (see `check.rs`).
+        let mut wlog = check::WriteLog::new();
 
         while !live.is_empty() {
             round += 1;
@@ -186,6 +190,8 @@ impl<A: Algebra> Scratch<A> {
                 "contraction failed to converge after {MAX_ROUNDS} rounds"
             );
             let frontier = live.len();
+            let deaths_before = self.death_order.len();
+            wlog.begin_round(round);
 
             // Plan: pure reads of the pre-round state; each slot is owned by
             // one node, so this parallelizes without synchronization.
@@ -198,9 +204,15 @@ impl<A: Algebra> Scratch<A> {
             actions.resize(live.len(), Action::None);
             {
                 let (par, count, live) = (&self.par, &self.count, &live[..]);
+                // Under `check`, every worker logs which action slots it
+                // actually wrote; two workers on one slot fail the round.
+                let plan_log = check::PlanLog::new();
+                let plan_log = &plan_log;
                 par::for_each_indexed(&mut actions, |i, slot| {
                     *slot = decide(par, count, seed, round, live[i]);
+                    plan_log.record(live[i]);
                 });
+                check::must(plan_log.finish());
             }
             if let Some(t) = plan_start {
                 sink.phase(Phase::Plan, t.elapsed().as_nanos() as u64);
@@ -228,8 +240,10 @@ impl<A: Algebra> Scratch<A> {
                         if S::ENABLED {
                             finishes += 1;
                         }
+                        // lint:allow(panic): callers seed Some acc for every active node
                         let val = alg.finish(self.acc[u as usize].as_ref().unwrap());
                         components.push((NodeId(u), val.clone()));
+                        check::must(wlog.record(Cell::Life(u), WriteMode::Exclusive, u as u64));
                         self.kill(u, round, Death::Root(val));
                     }
                     Action::Rake => {
@@ -237,10 +251,22 @@ impl<A: Algebra> Scratch<A> {
                             rakes += 1;
                         }
                         let p = self.par[u as usize] as usize;
+                        // lint:allow(panic): callers seed Some acc for every active node
                         let val = alg.finish(self.acc[u as usize].as_ref().unwrap());
                         let contrib =
+                            // lint:allow(panic): callers seed Some fun for every active node
                             alg.apply(self.fun[u as usize].as_ref().unwrap(), val.clone());
                         let slot = self.sib[u as usize];
+                        // Sibling rakes hit the same parent cells, but
+                        // absorb/decrement commute — recorded as such.
+                        check::must(wlog.record(Cell::Acc(p as u32), WriteMode::Absorb, u as u64));
+                        check::must(wlog.record(
+                            Cell::Count(p as u32),
+                            WriteMode::Decrement,
+                            u as u64,
+                        ));
+                        check::must(wlog.record(Cell::Life(u), WriteMode::Exclusive, u as u64));
+                        // lint:allow(panic): the parent of an active node is active (upward closure)
                         alg.absorb_at(self.acc[p].as_mut().unwrap(), slot, contrib);
                         self.count[p] -= 1;
                         self.kill(u, round, Death::Raked(val));
@@ -255,9 +281,16 @@ impl<A: Algebra> Scratch<A> {
                         }
                         let v = self.par[u as usize];
                         let gp = self.par[v as usize];
+                        // lint:allow(panic): live nodes carry Some acc/fun by seeding
                         let tf = alg.to_fun(self.acc[v as usize].as_ref().unwrap());
+                        // lint:allow(panic): live nodes carry Some acc/fun by seeding
                         let g = alg.compose(&tf, self.fun[u as usize].as_ref().unwrap());
+                        // lint:allow(panic): live nodes carry Some acc/fun by seeding
                         let new_fun = alg.compose(self.fun[v as usize].as_ref().unwrap(), &g);
+                        check::must(wlog.record(Cell::Fun(u), WriteMode::Exclusive, u as u64));
+                        check::must(wlog.record(Cell::Par(u), WriteMode::Exclusive, u as u64));
+                        check::must(wlog.record(Cell::Sib(u), WriteMode::Exclusive, u as u64));
+                        check::must(wlog.record(Cell::Life(v), WriteMode::Exclusive, u as u64));
                         self.fun[u as usize] = Some(new_fun);
                         self.par[u as usize] = gp;
                         // `u` inherits the victim's slot in the grandparent's
@@ -285,6 +318,9 @@ impl<A: Algebra> Scratch<A> {
 
             let alive = &self.alive;
             live.retain(|&u| alive[u as usize]);
+            if check::ENABLED {
+                self.check_round(round, &live, deaths_before);
+            }
         }
 
         RunOutcome {
@@ -295,12 +331,83 @@ impl<A: Algebra> Scratch<A> {
     }
 
     fn kill(&mut self, u: u32, round: u32, death: Death<A>) {
+        if check::ENABLED {
+            invariant!(
+                self.alive[u as usize],
+                "second death of node n{u} in round {round}"
+            );
+        }
         self.alive[u as usize] = false;
         self.death[u as usize] = death;
         self.death_round[u as usize] = round;
         self.death_parent[u as usize] = self.par[u as usize];
         self.death_order.push(u);
     }
+
+    /// Post-round invariant sweep (`check` feature): every node killed this
+    /// round carries a coherent, round-stamped death record whose recorded
+    /// parent survived the round, and every survivor has live state — a
+    /// present accumulator and edge function, a live working parent, and a
+    /// `count` that matches its actual number of live children. `O(frontier)`
+    /// per round.
+    #[cfg(feature = "check")]
+    fn check_round(&self, round: u32, live: &[u32], deaths_before: usize) {
+        use std::collections::HashMap;
+        for &u in &self.death_order[deaths_before..] {
+            let ui = u as usize;
+            invariant!(
+                !self.alive[ui],
+                "node n{u} died in round {round} but is still flagged alive"
+            );
+            invariant!(
+                self.death_round[ui] == round,
+                "node n{u} killed in round {round} is stamped with round {}",
+                self.death_round[ui]
+            );
+            invariant!(
+                !matches!(self.death[ui], Death::None),
+                "node n{u} died in round {round} without a death record"
+            );
+            let dp = self.death_parent[ui];
+            invariant!(
+                dp == NONE || self.alive[dp as usize],
+                "death parent n{dp} of n{u} did not survive round {round}"
+            );
+        }
+        let mut kids: HashMap<u32, u32> = HashMap::new();
+        for &u in live {
+            let ui = u as usize;
+            invariant!(self.alive[ui], "retained node n{u} is not alive");
+            invariant!(
+                self.acc[ui].is_some(),
+                "live node n{u} lost its accumulator in round {round}"
+            );
+            invariant!(
+                self.fun[ui].is_some(),
+                "live node n{u} lost its edge function in round {round}"
+            );
+            let p = self.par[ui];
+            if p != NONE {
+                invariant!(
+                    self.alive[p as usize],
+                    "live node n{u} points at dead parent n{p} after round {round}"
+                );
+                *kids.entry(p).or_insert(0) += 1;
+            }
+        }
+        for &u in live {
+            let expect = kids.get(&u).copied().unwrap_or(0);
+            invariant!(
+                self.count[u as usize] == expect,
+                "count[n{u}] = {} after round {round}, but {expect} live children remain",
+                self.count[u as usize]
+            );
+        }
+    }
+
+    #[cfg(not(feature = "check"))]
+    #[inline(always)]
+    fn check_round(&self, _round: u32, _live: &[u32], _deaths_before: usize) {}
 
     /// Extracts the shortcut structure of the last run over nodes `0..n`:
     /// each node's working parent at death (`up`), plus CSR hop lists
@@ -352,11 +459,13 @@ impl<A: Algebra> Scratch<A> {
     pub fn backsolve(&self, alg: &A, out: &mut [Option<A::Val>]) {
         for &u in self.death_order.iter().rev() {
             let val = match &self.death[u as usize] {
+                // lint:allow(panic): kill() records a death for every retired node
                 Death::None => unreachable!("dead node without death record"),
                 Death::Raked(v) | Death::Root(v) => v.clone(),
                 Death::Compressed { child, fun } => {
                     let child_val = out[*child as usize]
                         .clone()
+                        // lint:allow(panic): reverse death order solves children first
                         .expect("compressed child solved before parent");
                     alg.apply(fun, child_val)
                 }

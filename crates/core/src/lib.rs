@@ -43,6 +43,12 @@
 //! histograms (p50/p90/p99) and per-round totals. The default no-op sink
 //! compiles all instrumentation out.
 //!
+//! The `check` cargo feature compiles in the [`check`] module's
+//! correctness tooling — structural `validate()` methods on [`Forest`],
+//! [`Contraction`] and [`DynForest`], per-round engine invariant hooks,
+//! and a dynamic write-conflict detector for the plan/apply phases — all
+//! const-gated so the default build pays nothing.
+//!
 //! ```
 //! use dtc_core::{Answer, DynForest, Forest, QueryBatch, SubtreeSum};
 //!
@@ -81,6 +87,7 @@
 
 mod algebra;
 mod arena;
+pub mod check;
 mod contract;
 mod dynamic;
 mod engine;

@@ -20,7 +20,7 @@
 //! [`Profile`] is the batteries-included sink: it aggregates spans into
 //! log-bucketed latency histograms (hand-rolled HDR-style, ~3% relative
 //! resolution, p50/p90/p99) and rounds into per-round-index totals, and is
-//! what [`Forest::contract_profiled`](crate::Forest::contract_profiled) and
+//! what [`ContractOptions::profiled`](crate::ContractOptions::profiled) and
 //! [`DynForest::enable_profiling`](crate::DynForest::enable_profiling)
 //! attach for you.
 //!
@@ -417,7 +417,7 @@ impl RoundAgg {
 /// histograms and round counters into per-round totals.
 ///
 /// Attach one with
-/// [`Forest::contract_profiled`](crate::Forest::contract_profiled) or
+/// [`ContractOptions::profiled`](crate::ContractOptions::profiled) or
 /// [`DynForest::enable_profiling`](crate::DynForest::enable_profiling), or
 /// pass `&mut Profile` to any `*_with` entry point directly. `Display`
 /// renders the full report.

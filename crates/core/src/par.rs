@@ -56,6 +56,20 @@ where
     }
 }
 
+/// Stable tag identifying the current worker thread, for the `check`
+/// feature's plan-phase conflict detector.
+///
+/// Lives here (not in `check.rs`) because the repo lint confines
+/// `std::thread` to this module; the tag is just a hash of the opaque
+/// [`std::thread::ThreadId`].
+#[cfg(feature = "check")]
+pub(crate) fn worker_tag() -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

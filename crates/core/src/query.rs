@@ -333,6 +333,9 @@ fn build_ctx<A: PathAlgebra>(
             }
         }
     }
+    if crate::check::ENABLED {
+        check_euler(forest, &tin, &tout);
+    }
 
     // Closed weight of a victim `y`: C(y) = label(y) ⊕ G(y), where
     // G(y) folds the closed weights of y's own victims — i.e. everything
@@ -382,6 +385,34 @@ fn build_ctx<A: PathAlgebra>(
         hop_pref,
     }
 }
+
+/// Euler-interval nesting sweep (`check` feature): every interval is
+/// non-empty and every non-root's interval lies strictly inside its
+/// parent's — the property the batch engine's `O(1)` ancestor tests and
+/// victim-list binary searches rest on. `O(n)` per batch context.
+#[cfg(feature = "check")]
+fn check_euler<L>(forest: &Forest<L>, tin: &[u32], tout: &[u32]) {
+    use crate::check::invariant;
+    for v in 0..forest.len() as u32 {
+        let vi = v as usize;
+        invariant!(
+            tin[vi] < tout[vi],
+            "Euler interval of n{v} is empty or inverted"
+        );
+        let p = forest.parent_raw(v);
+        if p != NONE {
+            let pi = p as usize;
+            invariant!(
+                tin[pi] < tin[vi] && tout[vi] < tout[pi],
+                "Euler interval of n{v} is not nested inside its parent n{p}"
+            );
+        }
+    }
+}
+
+#[cfg(not(feature = "check"))]
+#[inline(always)]
+fn check_euler<L>(_forest: &Forest<L>, _tin: &[u32], _tout: &[u32]) {}
 
 /// Lowest common ancestor via the shortcut chain: climb from `u` until the
 /// hop's top is an ancestor of `v`; the LCA then lies in that hop's gap
@@ -620,6 +651,7 @@ impl<A: Algebra> Contraction<A> {
         }
         Ok(out
             .into_iter()
+            // lint:allow(panic): the fan-out fills every slot exactly once
             .map(|o| o.expect("every query resolved"))
             .collect())
     }

@@ -1,0 +1,170 @@
+//! Correctness-tooling tests (`--features check`).
+//!
+//! With the `check` feature on, every contraction in this file runs the
+//! engine's per-round invariant sweep and conflict detector implicitly; the
+//! tests then call the structural validators explicitly after each
+//! contraction and each `recompute()`, across the standard shape zoo up to
+//! 1e5 nodes. The `smoke_`-prefixed tests are deliberately tiny — CI's
+//! nightly Miri and thread-sanitizer jobs filter on that prefix to keep
+//! interpreter/instrumentation runtimes bounded.
+#![cfg(feature = "check")]
+
+use dtc_core::check::{self, Cell, PlanLog, WriteLog, WriteMode};
+use dtc_core::gen::{self, XorShift64};
+use dtc_core::{DynForest, Forest, NodeId, QueryBatch, SubtreeSum};
+
+/// The shape zoo shared by the property tests.
+fn shapes(n: usize, seed: u64) -> Vec<(&'static str, Forest<i64>)> {
+    vec![
+        ("random", gen::random_tree(n, seed)),
+        ("path", gen::path(n, seed)),
+        ("star", gen::star(n, seed)),
+        ("caterpillar", gen::caterpillar(n / 2, 2, seed)),
+        ("forest", gen::random_forest(n, 1 + n / 50, seed)),
+    ]
+}
+
+/// Contracts every shape (running the per-round engine hooks) and then
+/// validates both the arena and the recorded trace.
+fn contract_and_validate(n: usize, seed: u64) {
+    for (name, f) in shapes(n, seed) {
+        f.validate()
+            .unwrap_or_else(|e| panic!("{name}/{n}: forest invalid: {e}"));
+        let c = f.contraction().seed(seed).run(&SubtreeSum);
+        c.validate(&f)
+            .unwrap_or_else(|e| panic!("{name}/{n}: trace invalid: {e}"));
+    }
+}
+
+#[test]
+fn smoke_validators_accept_small_shapes() {
+    assert!(check::enabled());
+    contract_and_validate(200, 7);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "large shapes; the smoke_ tests cover miri")]
+fn validators_accept_shapes_up_to_1e5() {
+    for n in [1_000, 10_000, 100_000] {
+        contract_and_validate(n, 0x5EED ^ n as u64);
+    }
+}
+
+/// Random edit/recompute churn on a dynamic forest, validating the full
+/// dynamic layer (adjacency symmetry, dirty-set coherence, cached values)
+/// after **every** `recompute()`, plus once mid-batch while dirty.
+fn churn_and_validate(n: usize, rounds: usize, seed: u64) {
+    let f = gen::random_tree(n, seed);
+    let mut d = DynForest::with_seed(f, SubtreeSum, seed);
+    d.validate().expect("fresh dynamic forest validates");
+
+    let mut rng = XorShift64::new(seed | 1);
+    for round in 0..rounds {
+        // A batch of label bumps plus a cut; the cut node is random, so
+        // roots get rejected — use the rolled-back try_ form.
+        let bumps: Vec<(NodeId, i64)> = (0..4)
+            .map(|_| {
+                let v = NodeId::from_index((rng.next_u64() % n as u64) as usize);
+                (v, (rng.next_u64() % 1_000) as i64)
+            })
+            .collect();
+        d.batch_update_weights(&bumps);
+        let v = NodeId::from_index((rng.next_u64() % n as u64) as usize);
+        let was_root = d.forest().is_root(v);
+        let cut = d.try_batch_cut(&[v]);
+        assert_eq!(cut.is_err(), was_root, "round {round}: cut of {v}");
+        d.validate()
+            .unwrap_or_else(|e| panic!("round {round}: invalid while dirty: {e}"));
+
+        let stats = d.recompute();
+        assert!(stats.dirty > 0, "round {round}: edits marked nothing dirty");
+        d.validate()
+            .unwrap_or_else(|e| panic!("round {round}: invalid after recompute: {e}"));
+
+        // Link the cut component back somewhere legal and re-validate.
+        if cut.is_ok() {
+            let mut p = NodeId::from_index((rng.next_u64() % n as u64) as usize);
+            if d.forest().root_of(p) == v {
+                p = v; // would cycle; linking v under itself is also a cycle
+            }
+            if p != v {
+                d.batch_link(&[(v, p)]);
+                d.recompute();
+            }
+            d.validate()
+                .unwrap_or_else(|e| panic!("round {round}: invalid after relink: {e}"));
+        }
+    }
+}
+
+#[test]
+fn smoke_dynamic_validates_after_every_recompute() {
+    churn_and_validate(120, 6, 0xD1CE);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "large shapes; the smoke_ tests cover miri")]
+fn dynamic_validates_under_heavy_churn() {
+    churn_and_validate(5_000, 30, 0xBEEF);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "large shapes; the smoke_ tests cover miri")]
+fn query_batch_exercises_euler_nesting_sweep() {
+    // `build_ctx` re-derives Euler intervals per batch and, under `check`,
+    // sweeps their nesting; a mixed batch over a non-trivial forest drives
+    // that path end to end.
+    let f = gen::random_forest(20_000, 16, 99);
+    let c = f.contraction().run(&SubtreeSum);
+    c.validate(&f).expect("trace validates");
+    let ids: Vec<NodeId> = f.node_ids().collect();
+    let mut batch = QueryBatch::new();
+    batch
+        .subtree(ids[17])
+        .path(ids[12_345], ids[1])
+        .lca(ids[4_242], ids[17_000])
+        .component_root(ids[19_999]);
+    let answers = c.query_batch(&f, &SubtreeSum, &batch).expect("batch runs");
+    assert_eq!(answers.len(), 4);
+}
+
+#[test]
+fn smoke_conflict_detector_fires_on_overlapping_writes() {
+    // Two owners, same cell, same round: the seeded overlap every parallel
+    // bug eventually reduces to. Commutative absorbs may share a cell;
+    // anything else must be reported.
+    let mut log = WriteLog::new();
+    log.begin_round(3);
+    assert!(log.record(Cell::Acc(7), WriteMode::Absorb, 1).is_ok());
+    assert!(log.record(Cell::Acc(7), WriteMode::Absorb, 2).is_ok());
+    let err = log
+        .record(Cell::Par(7), WriteMode::Exclusive, 1)
+        .and(log.record(Cell::Par(7), WriteMode::Exclusive, 2))
+        .expect_err("overlapping exclusive writes must be detected");
+    let msg = err.to_string();
+    assert!(msg.contains("par[n7]"), "names the cell: {msg}");
+    assert!(msg.contains("round 3"), "names the round: {msg}");
+    assert!(msg.contains("owner 1") && msg.contains("owner 2"), "{msg}");
+
+    // Mixing a commutative mode with an exclusive write is also a race.
+    assert!(log.record(Cell::Count(9), WriteMode::Decrement, 1).is_ok());
+    assert!(log.record(Cell::Count(9), WriteMode::Exclusive, 2).is_err());
+
+    // A new round clears the slate.
+    log.begin_round(4);
+    assert!(log.record(Cell::Par(7), WriteMode::Exclusive, 2).is_ok());
+}
+
+#[test]
+fn smoke_plan_log_fires_on_two_workers_sharing_a_slot() {
+    let log = PlanLog::new();
+    for slot in 0..16 {
+        log.record_as(slot, 0xA);
+    }
+    assert!(log.finish().is_ok(), "disjoint slots are fine");
+    log.record_as(5, 0xB);
+    let err = log
+        .finish()
+        .expect_err("slot 5 written by two workers must be detected");
+    assert!(err.to_string().contains("action[n5]"), "{err}");
+}
