@@ -2,9 +2,13 @@
 //! shape so depth/degree sensitivity is visible in the numbers.
 //!
 //! Shapes (all ~100k nodes): `random` (O(log n) depth), `path` (worst-case
-//! depth), `star` (worst-case degree), `caterpillar` (deep spine + legs).
+//! depth), `star` (worst-case degree), `caterpillar` (deep spine + legs),
+//! `binary` (balanced), `broom` (deep handle into a high-degree head).
 //! Each shape is exercised three ways: full contraction, a 1k batch of
-//! cuts, and a 1k batch of weight updates.
+//! cuts, and a 1k batch of weight updates (the latter driven by change
+//! propagation — its records carry `replayed_slots`/`reused_slots`). A
+//! churn bench interleaves structural and label edits to price the
+//! fallback/re-anchor cycle.
 //!
 //! Run with `cargo bench -p dtc-bench`, or `cargo bench -p dtc-bench --
 //! --test` for the CI smoke mode (each bench executes once). Add
@@ -14,13 +18,16 @@
 
 use dtc_bench::{Harness, Json};
 use dtc_core::gen;
+use dtc_core::gen::ChurnOp;
 use dtc_core::obs::{Phase, Profile};
-use dtc_core::{Answer, Contraction, DynForest, Forest, NodeId, QueryBatch, SubtreeSum};
+use dtc_core::{
+    Answer, Contraction, DynForest, Forest, NodeId, QueryBatch, SubtreeSum, UpdateStats,
+};
 
 /// A named lazy forest generator.
 type Shape = (&'static str, Box<dyn Fn() -> Forest<i64>>);
 
-/// The four shape generators of the breakdown matrix.
+/// The shape generators of the breakdown matrix.
 fn shapes() -> Vec<Shape> {
     vec![
         (
@@ -32,6 +39,14 @@ fn shapes() -> Vec<Shape> {
         (
             "caterpillar_100k",
             Box::new(|| gen::caterpillar(20_000, 4, 42)) as _,
+        ),
+        (
+            "binary_100k",
+            Box::new(|| gen::binary_tree(100_000, 42)) as _,
+        ),
+        (
+            "broom_100k",
+            Box::new(|| gen::broom(50_000, 50_000, 42)) as _,
         ),
     ]
 }
@@ -84,7 +99,7 @@ fn main() {
             probe.enable_profiling();
             probe.batch_cut(&cuts);
             let stats = probe.recompute();
-            attach_dyn_report(&h, &name, &stats.to_string(), probe.profile().unwrap());
+            attach_dyn_report(&h, &name, &stats, probe.profile().unwrap());
         }
 
         let name = format!("batch_update_1k/{shape}");
@@ -101,7 +116,39 @@ fn main() {
             probe.enable_profiling();
             probe.batch_update_weights(&updates);
             let stats = probe.recompute();
-            attach_dyn_report(&h, &name, &stats.to_string(), probe.profile().unwrap());
+            attach_dyn_report(&h, &name, &stats, probe.profile().unwrap());
+        }
+    }
+
+    // Churn: interleaved cut/link/weight batches against a ~100k random
+    // tree, pricing the structural fallback + re-anchor cycle end to end
+    // (each chunk of structural ops forces a dirty-set re-contraction, the
+    // following label-only chunk pays the one-time full re-anchor and then
+    // propagates).
+    {
+        let (f, script) = gen::churn(100_000, 512, 42);
+        let base = DynForest::new(f, SubtreeSum);
+        let name = "batch_churn_512/random_100k";
+        if h.selected(name) {
+            h.bench(
+                name,
+                || base.clone(),
+                |d| {
+                    let mut last = None;
+                    for chunk in script.chunks(16) {
+                        for op in chunk {
+                            match *op {
+                                ChurnOp::Cut(v) => d.batch_cut(&[v]),
+                                ChurnOp::Link { child, parent } => d.batch_link(&[(child, parent)]),
+                                ChurnOp::Weight(v, w) => d.batch_update_weights(&[(v, w)]),
+                            }
+                        }
+                        last = Some(d.recompute());
+                    }
+                    last
+                },
+            );
+            h.attach(name, "ops", Json::num(script.len() as u32));
         }
     }
 
@@ -338,10 +385,15 @@ fn attach_profile(h: &Harness, name: &str, profile: &Profile) {
 }
 
 /// Like [`attach_profile`], plus the human-readable [`UpdateStats`] line
-/// (which records the dirty-set size for the batch).
-///
-/// [`UpdateStats`]: dtc_core::UpdateStats
-fn attach_dyn_report(h: &Harness, name: &str, stats_line: &str, profile: &Profile) {
-    h.attach(name, "update_stats", Json::str(stats_line));
+/// (which records the dirty-set size for the batch) and the
+/// change-propagation slot counters (schema v2).
+fn attach_dyn_report(h: &Harness, name: &str, stats: &UpdateStats, profile: &Profile) {
+    h.attach(name, "update_stats", Json::str(stats.to_string()));
+    h.attach(
+        name,
+        "replayed_slots",
+        Json::Num(stats.replayed_slots as f64),
+    );
+    h.attach(name, "reused_slots", Json::Num(stats.reused_slots as f64));
     attach_profile(h, name, profile);
 }

@@ -23,6 +23,33 @@ pub mod json;
 
 pub use json::Json;
 
+/// Schema tag written into every `--json` record this harness emits.
+///
+/// `v2` extends `v1` with change-propagation slot counters
+/// (`replayed_slots` / `reused_slots`) on batch-update records; readers
+/// that tolerate missing keys can treat the two identically, which is why
+/// [`parse_record`] accepts both.
+pub const SCHEMA: &str = "dtc-bench/v2";
+
+/// Schema tags [`parse_record`] accepts: the current version plus every
+/// older version still present in the repo's perf-trajectory files.
+pub const ACCEPTED_SCHEMAS: &[&str] = &["dtc-bench/v2", "dtc-bench/v1"];
+
+/// Parses a `BENCH_*.json` perf record and validates its `schema` tag
+/// against [`ACCEPTED_SCHEMAS`], so trajectory tooling fails loudly on a
+/// record from an incompatible future format instead of misreading it.
+pub fn parse_record(text: &str) -> Result<Json, String> {
+    let doc = json::parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(tag) if ACCEPTED_SCHEMAS.contains(&tag) => Ok(doc),
+        Some(tag) => Err(format!(
+            "unsupported schema `{tag}` (accepted: {})",
+            ACCEPTED_SCHEMAS.join(", ")
+        )),
+        None => Err("record has no `schema` string".to_string()),
+    }
+}
+
 /// Target measured wall time per benchmark before reporting.
 const TARGET_TIME: Duration = Duration::from_millis(500);
 /// Iteration bounds per benchmark.
@@ -256,7 +283,7 @@ impl Harness {
             .map(|d| d.as_secs())
             .unwrap_or(0);
         let mut members = vec![
-            ("schema".to_string(), Json::str("dtc-bench/v1")),
+            ("schema".to_string(), Json::str(SCHEMA)),
             (
                 "mode".to_string(),
                 Json::str(if self.test_mode { "test" } else { "bench" }),
@@ -384,8 +411,8 @@ mod tests {
 
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        let doc = json::parse(&text).unwrap();
-        assert_eq!(doc.get("schema").unwrap().as_str(), Some("dtc-bench/v1"));
+        let doc = parse_record(&text).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
         assert_eq!(doc.get("mode").unwrap().as_str(), Some("test"));
         assert_eq!(doc.get("check"), Some(&Json::Bool(false)));
         let benches = doc.get("benches").unwrap().as_arr().unwrap();
@@ -396,5 +423,20 @@ mod tests {
         assert!(rec.get("p99_ns").unwrap().as_num().is_some());
         let counters = rec.get("counters").unwrap();
         assert_eq!(counters.get("rounds").unwrap().as_num(), Some(3.0));
+    }
+
+    #[test]
+    fn parse_record_accepts_v1_and_rejects_unknown_schemas() {
+        // v1 records from earlier in the perf trajectory must stay readable.
+        let v1 = r#"{ "schema": "dtc-bench/v1", "benches": [] }"#;
+        assert!(parse_record(v1).is_ok());
+        let v2 = r#"{ "schema": "dtc-bench/v2", "benches": [] }"#;
+        assert!(parse_record(v2).is_ok());
+
+        let future = r#"{ "schema": "dtc-bench/v9", "benches": [] }"#;
+        let err = parse_record(future).unwrap_err();
+        assert!(err.contains("dtc-bench/v9"), "error names the tag: {err}");
+        let missing = r#"{ "benches": [] }"#;
+        assert!(parse_record(missing).is_err());
     }
 }

@@ -33,8 +33,9 @@ use crate::check::invariant;
 pub trait Algebra: Clone {
     /// Per-node input label (weight, operator, ...).
     type Label: Clone;
-    /// Final subtree value.
-    type Val: Clone;
+    /// Final subtree value. `PartialEq` lets change propagation detect
+    /// when a replayed action reproduced its recorded result and cut off.
+    type Val: Clone + PartialEq;
     /// Partial accumulator held by a live node.
     type Acc: Clone;
     /// Unary function `Val -> Val` carried by a live edge.
@@ -78,6 +79,177 @@ pub trait Algebra: Clone {
 
     /// Applies an edge function to a value.
     fn apply(&self, f: &Self::Fun, x: Self::Val) -> Self::Val;
+}
+
+/// Algebras whose [`Algebra::absorb`] can be undone: removing one child's
+/// contribution from an accumulator without refolding the others.
+///
+/// Change propagation uses this for the subtract/re-add fast path on
+/// high-degree nodes: when one child of a 10⁵-ary star changes, the
+/// parent's accumulator is patched in `O(1)` instead of re-absorbing every
+/// clean sibling. Law: `unabsorb(absorb(acc, x), x) == acc` for any
+/// reachable accumulator.
+pub trait Invertible: Algebra {
+    /// Removes a previously absorbed child contribution from `acc`.
+    fn unabsorb(&self, acc: &mut Self::Acc, child: Self::Val);
+}
+
+impl Invertible for SubtreeSum {
+    #[inline]
+    fn unabsorb(&self, acc: &mut i64, child: i64) {
+        *acc = acc.wrapping_sub(child);
+    }
+}
+
+/// Extension required by [`DynForest`](crate::DynForest) change
+/// propagation: a *partial aggregate* over a contiguous slot range of a
+/// node's children, so a dirty parent can rebuild its accumulator from
+/// cached per-child contributions instead of re-resolving every clean
+/// child.
+///
+/// Two strategies hide behind one interface, selected by
+/// [`Propagate::INVERTIBLE`]:
+///
+/// * **invertible** (e.g. [`SubtreeSum`]) — one flat `Part` aggregates all
+///   children; a changed child is patched by [`Propagate::part_remove`] +
+///   [`Propagate::part_merge`] in `O(1)`;
+/// * **non-invertible** (e.g. [`MinMax`], [`ExprEval`],
+///   [`OrderedRake`](crate::OrderedRake)) — the propagator keeps a
+///   balanced sibling-accumulation tree of `Part`s and replays an
+///   `O(log degree)` root-to-leaf path on change.
+///
+/// Laws: `part_merge` must be associative with `part_empty` as unit, and
+/// merging the parts of slots `0..k` **in ascending slot order** then
+/// absorbing via [`Propagate::absorb_part`] must equal absorbing each
+/// child with [`Algebra::absorb_at`] directly. (Ascending order is what
+/// lets ordered algebras participate.)
+pub trait Propagate: Algebra {
+    /// Aggregate of the contributions of a contiguous range of child
+    /// slots.
+    type Part: Clone;
+
+    /// `true` when [`Propagate::part_remove`] is implemented and `O(1)`;
+    /// the propagator then keeps a single flat `Part` per node instead of
+    /// a sibling tree.
+    const INVERTIBLE: bool = false;
+
+    /// The aggregate of zero children (unit of [`Propagate::part_merge`]).
+    fn part_empty(&self) -> Self::Part;
+
+    /// The aggregate of the single child at slot `slot` with final value
+    /// `child`.
+    fn part_of(&self, slot: u32, child: Self::Val) -> Self::Part;
+
+    /// Merges two adjacent ranges; `lo` covers strictly lower slots than
+    /// `hi`.
+    fn part_merge(&self, lo: &Self::Part, hi: &Self::Part) -> Self::Part;
+
+    /// Folds a full-range aggregate into a node accumulator, as if every
+    /// covered child had been absorbed via [`Algebra::absorb_at`].
+    fn absorb_part(&self, acc: &mut Self::Acc, part: &Self::Part);
+
+    /// Removes the child at `slot` (whose contribution was `old`) from a
+    /// flat aggregate. Only called when [`Propagate::INVERTIBLE`] is
+    /// `true`; the default is unreachable and flags misuse in debug
+    /// builds.
+    #[inline]
+    fn part_remove(&self, part: &mut Self::Part, slot: u32, old: Self::Val) {
+        let _ = (part, slot, old);
+        debug_assert!(false, "part_remove called on a non-invertible algebra");
+    }
+}
+
+impl Propagate for SubtreeSum {
+    /// Sum of the covered children's subtree values.
+    type Part = i64;
+    const INVERTIBLE: bool = true;
+
+    #[inline]
+    fn part_empty(&self) -> i64 {
+        0
+    }
+
+    #[inline]
+    fn part_of(&self, _slot: u32, child: i64) -> i64 {
+        child
+    }
+
+    #[inline]
+    fn part_merge(&self, lo: &i64, hi: &i64) -> i64 {
+        lo.wrapping_add(*hi)
+    }
+
+    #[inline]
+    fn absorb_part(&self, acc: &mut i64, part: &i64) {
+        *acc = acc.wrapping_add(*part);
+    }
+
+    #[inline]
+    fn part_remove(&self, part: &mut i64, _slot: u32, old: i64) {
+        *part = part.wrapping_sub(old);
+    }
+}
+
+impl Propagate for MinMax {
+    /// Join of the covered children's extrema.
+    type Part = Extrema;
+
+    #[inline]
+    fn part_empty(&self) -> Extrema {
+        Extrema::NEUTRAL
+    }
+
+    #[inline]
+    fn part_of(&self, _slot: u32, child: Extrema) -> Extrema {
+        child
+    }
+
+    #[inline]
+    fn part_merge(&self, lo: &Extrema, hi: &Extrema) -> Extrema {
+        lo.join(*hi)
+    }
+
+    #[inline]
+    fn absorb_part(&self, acc: &mut Extrema, part: &Extrema) {
+        *acc = acc.join(*part);
+    }
+}
+
+impl Propagate for ExprEval {
+    /// `(sum, product)` of the covered children — both folds are carried
+    /// because the parent's operator (which picks one) is not known at
+    /// merge time.
+    type Part = (i64, i64);
+
+    #[inline]
+    fn part_empty(&self) -> (i64, i64) {
+        (0, 1)
+    }
+
+    #[inline]
+    fn part_of(&self, _slot: u32, child: i64) -> (i64, i64) {
+        (child, child)
+    }
+
+    #[inline]
+    fn part_merge(&self, lo: &(i64, i64), hi: &(i64, i64)) -> (i64, i64) {
+        (lo.0.wrapping_add(hi.0), lo.1.wrapping_mul(hi.1))
+    }
+
+    #[inline]
+    fn absorb_part(&self, acc: &mut ExprAcc, part: &(i64, i64)) {
+        match acc {
+            // A leaf only ever receives the empty aggregate (leaves have
+            // no children); absorbing it is the identity.
+            ExprAcc::Leaf(_) => {}
+            ExprAcc::Partial { op, folded } => {
+                *folded = match op {
+                    ExprOp::Add => folded.wrapping_add(part.0),
+                    ExprOp::Mul => folded.wrapping_mul(part.1),
+                }
+            }
+        }
+    }
 }
 
 /// Subtree-sum aggregation over `i64` node weights.

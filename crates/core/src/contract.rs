@@ -3,13 +3,31 @@
 
 use crate::algebra::Algebra;
 use crate::arena::{Forest, NONE};
-use crate::engine::Scratch;
+use crate::engine::{Death, Scratch};
 use crate::obs::{NoopSink, Phase, Profile, Sink};
 use crate::NodeId;
 use std::time::Instant;
 
 /// Default coin seed used when [`ContractOptions::seed`] is not called.
 pub(crate) const DEFAULT_SEED: u64 = 0x5EED;
+
+/// How a node was retired by the contraction — the *kind* of trace slot it
+/// occupies in the replayable contraction DAG.
+///
+/// Change propagation dispatches on this: a raked slot is re-executed by
+/// refolding the node's children and re-delivering its contribution; a
+/// compressed slot by re-composing the unary chain; a root slot by
+/// re-finishing the component value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    /// Retired as a childless non-root: folded into its parent.
+    Raked,
+    /// Spliced out of a unary chain; its value is a recorded unary
+    /// function of the surviving child.
+    Compressed,
+    /// Finished as a component root.
+    Root,
+}
 
 /// Result of contracting a whole forest: final subtree values for every
 /// node, per-component aggregates, the round-stamped trace, and the
@@ -32,6 +50,8 @@ pub struct Contraction<A: Algebra> {
     /// these are exactly the original ancestors strictly between `x` and
     /// `up[x]`.
     pub(crate) hop_victims: Vec<u32>,
+    /// How each node was retired (rake / compress / root finish).
+    kinds: Vec<SlotKind>,
     profile: Option<Box<Profile>>,
 }
 
@@ -72,6 +92,25 @@ impl<A: Algebra> Contraction<A> {
     pub fn trace_parent(&self, v: NodeId) -> Option<NodeId> {
         let p = self.up[v.index()];
         (p != NONE).then_some(NodeId(p))
+    }
+
+    /// The kind of trace slot `v` occupies in the replayable contraction
+    /// DAG: how the engine retired it.
+    pub fn slot_kind(&self, v: NodeId) -> SlotKind {
+        self.kinds[v.index()]
+    }
+
+    /// The nodes that were spliced out from directly above `v` — `v`'s
+    /// successive working parents, bottom to top (ascending death round).
+    ///
+    /// Together with [`Contraction::trace_parent`] this exposes the trace
+    /// as a replayable structure: `v`, `trace_victims(v)`,
+    /// `trace_parent(v)`, … reconstructs the full original ancestor path
+    /// of `v` in `O(rounds)` hops.
+    pub fn trace_victims(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let lo = self.hop_off[v.index()] as usize;
+        let hi = self.hop_off[v.index() + 1] as usize;
+        self.hop_victims[lo..hi].iter().map(|&u| NodeId(u))
     }
 
     /// Telemetry report collected during the contraction, present only when
@@ -325,6 +364,16 @@ where
         .map(|v| v.expect("every node contracted"))
         .collect();
     let (up, hop_off, hop_victims) = scratch.trace_links(n);
+    let kinds = scratch.death[..n]
+        .iter()
+        .map(|d| match d {
+            Death::Raked(_) => SlotKind::Raked,
+            Death::Compressed { .. } => SlotKind::Compressed,
+            Death::Root(_) => SlotKind::Root,
+            // lint:allow(panic): the engine runs until every active node dies
+            Death::None => unreachable!("node survived a full contraction"),
+        })
+        .collect();
 
     Contraction {
         vals,
@@ -334,6 +383,7 @@ where
         up,
         hop_off,
         hop_victims,
+        kinds,
         profile: None,
     }
 }

@@ -1,32 +1,40 @@
 //! Batch-dynamic forests via change propagation over the contraction trace.
 //!
-//! [`DynForest`] keeps, for every node, the final subtree value computed by
-//! the last contraction. Structural edits ([`DynForest::batch_cut`],
-//! [`DynForest::batch_link`]) and label edits
-//! ([`DynForest::batch_update_weights`]) are applied to the shape
-//! immediately, but value recomputation is deferred: each edit only *marks
-//! dirty* the nodes whose cached values it invalidates — the edited node
-//! (for label changes) and its ancestors up to the component root. Because
-//! dirty paths are upward-closed, marking stops as soon as it meets an
-//! already-dirty node, so overlapping updates in a batch share work.
+//! [`DynForest`] keeps the full round-stamped death trace of the last
+//! contraction and treats it as a dependency DAG (see `propagate.rs`).
+//! Edits are applied to the shape immediately but value recomputation is
+//! deferred:
 //!
-//! [`DynForest::recompute`] then re-runs rake/compress contraction *only on
-//! the dirty set*: a clean child of a dirty node enters the contraction as
-//! a pre-absorbed constant (its cached subtree value), exactly as if its
-//! whole subtree had already been raked away. For shallow trees this makes
-//! an update batch cost `O(Σ (depth × degree))` instead of `O(n)`
-//! contraction work — seeding a dirty node still re-absorbs all of its
-//! clean children, so very high-degree nodes (stars) pay their degree per
-//! update; see ROADMAP for the planned partial-accumulator fix.
+//! * **label edits** ([`DynForest::batch_update_weights`]) mark only the
+//!   edited nodes. [`DynForest::recompute`] then *replays* just the trace
+//!   slots whose inputs changed, round by round: a re-executed rake that
+//!   reproduces its recorded contribution cuts the wave off, and every
+//!   untouched slot's recorded result is reused verbatim. Cached per-node
+//!   child aggregates (flat subtract/re-add parts for invertible algebras,
+//!   balanced sibling trees otherwise) make each replayed slot
+//!   `O(1)`–`O(log degree)`, so an update batch costs
+//!   `O(affected × log)` independent of tree depth *and* node degree —
+//!   paths and stars propagate as fast as random trees;
+//! * **structural edits** ([`DynForest::batch_cut`],
+//!   [`DynForest::batch_link`]) rewire the trace itself, so they fall back
+//!   to the legacy dirty-set re-contraction: the edit marks the affected
+//!   root path, recompute re-runs rake/compress on the dirty set with
+//!   clean children entering as pre-resolved constants, and the replay
+//!   tables are invalidated. The next label-only recompute re-anchors on
+//!   one fresh full contraction before returning to pure propagation.
+//!   [`DynForest::set_propagation`] forces the legacy path everywhere,
+//!   which is what the differential tests diff against.
 //!
-//! This is the "affected set" form of the paper's change propagation; the
-//! round-stamped trace recorded by the engine is what makes cached values
-//! available at every node (via backsolving), not just at the roots.
+//! Values are resolved lazily from the trace (`O(rounds)` per read, no
+//! per-node value cache to keep coherent), which is why reads return
+//! values rather than references and why *any* pending edit makes every
+//! read stale until [`DynForest::recompute`] runs.
 
-use crate::algebra::{Algebra, PathAlgebra};
+use crate::algebra::{PathAlgebra, Propagate};
 use crate::arena::{Forest, NONE};
 use crate::engine::{Death, Scratch};
 use crate::obs::{EngineCounters, NoopSink, Phase, Profile};
+use crate::propagate::{resolve_val, Replay};
 use crate::query::{QueryBatch, QueryError, QueryOutcome};
 use crate::rng::splitmix64;
 use crate::NodeId;
@@ -76,15 +84,23 @@ impl std::error::Error for EditError {}
 /// Statistics returned by [`DynForest::recompute`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UpdateStats {
-    /// Nodes whose values were recomputed (the dirty set).
+    /// Nodes carrying pending edit marks when the recompute started.
     pub dirty: usize,
     /// Total nodes in the forest.
     pub total: usize,
-    /// Rake/compress rounds the re-contraction took.
+    /// Rake/compress rounds of the re-contraction, or — on the
+    /// propagation path — the number of distinct trace rounds the replay
+    /// wave touched (its depth in the contraction DAG).
     pub rounds: u32,
-    /// Per-run engine counters (rakes/splices/finishes/coin rejections and
-    /// peak frontier) for this recompute; `Some` only when profiling is
-    /// enabled via [`DynForest::enable_profiling`].
+    /// Trace slots re-executed by this recompute: the affected set of
+    /// change propagation, or every contracted node on the legacy and
+    /// full-rebuild paths.
+    pub replayed_slots: usize,
+    /// Trace slots whose recorded results were reused untouched.
+    pub reused_slots: usize,
+    /// Per-run engine counters (rakes/splices/finishes/coin rejections,
+    /// peak frontier, replayed/reused slots) for this recompute; `Some`
+    /// only when profiling is enabled via [`DynForest::enable_profiling`].
     pub counters: Option<EngineCounters>,
 }
 
@@ -95,6 +111,13 @@ impl fmt::Display for UpdateStats {
             "recomputed {} of {} nodes in {} rounds",
             self.dirty, self.total, self.rounds
         )?;
+        if self.replayed_slots + self.reused_slots > 0 {
+            write!(
+                f,
+                " ({} slots replayed, {} reused)",
+                self.replayed_slots, self.reused_slots
+            )?;
+        }
         if let Some(c) = &self.counters {
             write!(
                 f,
@@ -106,7 +129,8 @@ impl fmt::Display for UpdateStats {
     }
 }
 
-/// A forest supporting batch-dynamic edits with incremental re-contraction.
+/// A forest supporting batch-dynamic edits with incremental recomputation
+/// by change propagation.
 ///
 /// ```
 /// use dtc_core::{DynForest, Forest, SubtreeSum};
@@ -117,40 +141,54 @@ impl fmt::Display for UpdateStats {
 /// f.add_child(a, 3);
 ///
 /// let mut d = DynForest::new(f, SubtreeSum);
-/// assert_eq!(*d.subtree_value(r), 6);
+/// assert_eq!(d.subtree_value(r), 6);
 ///
-/// // Cut `a` off: only `r`'s cached value is invalidated.
+/// // Cut `a` off: a structural edit, handled by dirty-set re-contraction.
 /// d.batch_cut(&[a]);
 /// let stats = d.recompute();
 /// assert_eq!(stats.dirty, 1);
-/// assert_eq!(*d.subtree_value(r), 1);
-/// assert_eq!(*d.subtree_value(a), 5);
+/// assert_eq!(d.subtree_value(r), 1);
+/// assert_eq!(d.subtree_value(a), 5);
 ///
 /// // Link it back and bump a weight in the same batch.
 /// d.batch_link(&[(a, r)]);
 /// d.batch_update_weights(&[(r, 100)]);
 /// d.recompute();
-/// assert_eq!(*d.subtree_value(r), 105);
+/// assert_eq!(d.subtree_value(r), 105);
+///
+/// // A label-only batch replays just the affected trace slots.
+/// d.batch_update_weights(&[(a, 20)]);
+/// let stats = d.recompute();
+/// assert!(stats.replayed_slots <= stats.total);
+/// assert_eq!(d.subtree_value(r), 123);
 /// ```
-pub struct DynForest<A: Algebra> {
+pub struct DynForest<A: Propagate> {
     alg: A,
     forest: Forest<A::Label>,
     children: Vec<Vec<u32>>,
     /// Position of each node in its parent's child list (stale for roots),
     /// so cuts are O(1) instead of a scan of the parent's children.
     child_slot: Vec<u32>,
-    subtree: Vec<Option<A::Val>>,
     dirty: Vec<bool>,
     dirty_list: Vec<u32>,
+    /// `true` once a cut/link landed since the last recompute; forces the
+    /// legacy dirty-set path (the trace no longer matches the shape).
+    has_structural: bool,
+    /// `false` routes label-only batches through the legacy path too —
+    /// the differential-testing baseline.
+    use_propagation: bool,
     scratch: Scratch<A>,
+    replay: Replay<A>,
     seed: u64,
     /// Telemetry collector; `Some` once profiling is enabled. Boxed so the
     /// common unprofiled forest stays small.
     profile: Option<Box<Profile>>,
 }
 
-impl<A: Algebra> DynForest<A> {
-    /// Wraps `forest` and runs the initial full contraction.
+impl<A: Propagate> DynForest<A> {
+    /// Wraps `forest` and runs the initial full contraction (which also
+    /// builds the replay tables, so a freshly constructed forest is ready
+    /// to propagate).
     pub fn new(forest: Forest<A::Label>, alg: A) -> Self {
         Self::with_seed(forest, alg, 0xD15EA5E)
     }
@@ -170,20 +208,22 @@ impl<A: Algebra> DynForest<A> {
             forest,
             children,
             child_slot,
-            subtree: vec![None; n],
-            dirty: vec![true; n],
-            dirty_list: (0..n as u32).collect(),
+            dirty: vec![false; n],
+            dirty_list: Vec::new(),
+            has_structural: false,
+            use_propagation: true,
             scratch: Scratch::default(),
+            replay: Replay::new(),
             seed,
             profile: None,
         };
-        d.recompute();
+        d.rebuild_replay();
         d
     }
 
     /// Turns on telemetry collection: every subsequent batch edit and
     /// [`DynForest::recompute`] reports dirty-mark / plan / apply /
-    /// backsolve spans and per-round counters into an internal
+    /// propagate spans and per-round counters into an internal
     /// [`Profile`], and [`UpdateStats::counters`] becomes `Some`.
     ///
     /// Idempotent; an already-collected profile is kept. The unprofiled
@@ -211,6 +251,22 @@ impl<A: Algebra> DynForest<A> {
         self.profile.take().map(|p| *p)
     }
 
+    /// Chooses how label-only batches recompute: `true` (the default)
+    /// replays the contraction trace by change propagation; `false`
+    /// forces the legacy dirty-set re-contraction everywhere.
+    ///
+    /// Both paths produce identical values — the legacy path exists as
+    /// the differential-testing baseline and as the fallback structural
+    /// edits take automatically.
+    pub fn set_propagation(&mut self, enabled: bool) {
+        self.use_propagation = enabled;
+    }
+
+    /// `true` when label-only batches recompute by trace propagation.
+    pub fn propagation_enabled(&self) -> bool {
+        self.use_propagation
+    }
+
     /// Read access to the underlying forest shape.
     pub fn forest(&self) -> &Forest<A::Label> {
         &self.forest
@@ -226,12 +282,15 @@ impl<A: Algebra> DynForest<A> {
         self.forest.is_empty()
     }
 
-    /// Number of nodes currently marked dirty (pending [`DynForest::recompute`]).
+    /// Number of nodes carrying pending edit marks (label edits mark just
+    /// the edited node; cuts/links mark the affected root path).
     pub fn pending(&self) -> usize {
         self.dirty_list.len()
     }
 
-    /// `true` when `v`'s cached value is stale.
+    /// `true` when `v` carries a pending edit mark. Note that with *any*
+    /// edit pending every read is stale (see
+    /// [`DynForest::try_subtree_value`]), not only reads of marked nodes.
     pub fn is_dirty(&self, v: NodeId) -> bool {
         self.dirty[v.index()]
     }
@@ -242,44 +301,41 @@ impl<A: Algebra> DynForest<A> {
     }
 
     /// Final subtree value of `v` as of the last recompute, or an error if
-    /// `v` is stale (marked dirty by a pending edit) or out of range.
+    /// edits are pending or `v` is out of range.
     ///
-    /// This is the explicit-staleness read: a `Err(QueryError::Stale)`
-    /// means the cached value would be silently wrong, and the caller must
+    /// Values resolve lazily from the recorded trace (`O(rounds)` per
+    /// read). With edits pending the trace no longer matches the forest,
+    /// so *every* read returns `Err(QueryError::Stale)` — label edits
+    /// deliberately mark only the edited node, leaving no cheap way to
+    /// tell which ancestors a pending edit will reach; the caller must
     /// [`DynForest::recompute`] first.
-    pub fn try_subtree_value(&self, v: NodeId) -> Result<&A::Val, QueryError> {
+    pub fn try_subtree_value(&self, v: NodeId) -> Result<A::Val, QueryError> {
         let n = self.forest.len();
         if v.index() >= n {
             return Err(QueryError::UnknownNode { node: v, nodes: n });
         }
-        if self.dirty[v.index()] {
+        if !self.dirty_list.is_empty() {
             return Err(QueryError::Stale { node: v });
         }
-        Ok(self.subtree[v.index()]
-            .as_ref()
-            // lint:allow(panic): recompute caches a value for every clean node
-            .expect("clean node has a cached value"))
+        Ok(resolve_val(&self.alg, &self.scratch.death, v.raw()))
     }
 
     /// Final subtree value of `v` as of the last recompute.
     ///
     /// # Panics
-    /// Panics if `v` is dirty — call [`DynForest::recompute`] first, or use
-    /// [`DynForest::try_subtree_value`] to handle staleness without
+    /// Panics if edits are pending — call [`DynForest::recompute`] first,
+    /// or use [`DynForest::try_subtree_value`] to handle staleness without
     /// panicking.
-    pub fn subtree_value(&self, v: NodeId) -> &A::Val {
+    pub fn subtree_value(&self, v: NodeId) -> A::Val {
         self.try_subtree_value(v)
             // lint:allow(panic): documented panicking API; try_subtree_value is the fallible form
             .unwrap_or_else(|e| panic!("subtree_value({v}): {e}"))
     }
 
     /// Aggregate of the component containing `v` (any node of the
-    /// component, not just its root), or an error if the component has
-    /// pending updates or `v` is out of range.
-    ///
-    /// Dirty marks are upward-closed, so the component root is clean iff
-    /// no edit in the component is pending.
-    pub fn try_component_value(&self, v: NodeId) -> Result<&A::Val, QueryError> {
+    /// component, not just its root), or an error if edits are pending or
+    /// `v` is out of range.
+    pub fn try_component_value(&self, v: NodeId) -> Result<A::Val, QueryError> {
         let n = self.forest.len();
         if v.index() >= n {
             return Err(QueryError::UnknownNode { node: v, nodes: n });
@@ -290,9 +346,9 @@ impl<A: Algebra> DynForest<A> {
     /// Aggregate of the component rooted at `root`.
     ///
     /// # Panics
-    /// Panics if `root` is not a root or is dirty; see
+    /// Panics if `root` is not a root or edits are pending; see
     /// [`DynForest::try_component_value`] for the non-panicking form.
-    pub fn component_value(&self, root: NodeId) -> &A::Val {
+    pub fn component_value(&self, root: NodeId) -> A::Val {
         assert!(
             self.forest.is_root(root),
             "component_value({root}): not a root"
@@ -300,8 +356,20 @@ impl<A: Algebra> DynForest<A> {
         self.subtree_value(root)
     }
 
+    /// Marks a single node's trace slot as edited (label changes; the
+    /// propagation pass finds affected ancestors through the trace, so no
+    /// path walk is needed).
+    fn mark_dirty(&mut self, u: u32) {
+        if !self.dirty[u as usize] {
+            self.dirty[u as usize] = true;
+            self.dirty_list.push(u);
+        }
+    }
+
     /// Marks `start` and all its ancestors dirty, stopping early at the
-    /// first already-dirty node (whose ancestors are dirty by invariant).
+    /// first already-dirty node. Only structural edits walk paths — the
+    /// legacy dirty-set engine they fall back to needs an upward-closed
+    /// dirty set.
     fn mark_path_dirty(&mut self, start: u32) {
         let mut u = start;
         loop {
@@ -333,6 +401,7 @@ impl<A: Algebra> DynForest<A> {
             self.child_slot[kids[pos] as usize] = pos as u32;
         }
         self.forest.set_parent_raw(v.raw(), NONE);
+        self.has_structural = true;
         self.mark_path_dirty(p);
         Ok(p)
     }
@@ -349,6 +418,7 @@ impl<A: Algebra> DynForest<A> {
         self.child_slot[child.index()] = self.children[parent.index()].len() as u32;
         self.children[parent.index()].push(child.raw());
         self.forest.set_parent_raw(child.raw(), parent.raw());
+        self.has_structural = true;
         self.mark_path_dirty(parent.raw());
         Ok(())
     }
@@ -362,7 +432,7 @@ impl<A: Algebra> DynForest<A> {
     }
 
     /// Cuts each node in `cuts` from its parent, making it a component
-    /// root. The cut subtree's cached values stay valid; only the old
+    /// root. The cut subtree's recorded values stay valid; only the old
     /// ancestors are invalidated.
     ///
     /// Ops apply in order; on the first invalid op ([`EditError::AlreadyRoot`],
@@ -372,8 +442,8 @@ impl<A: Algebra> DynForest<A> {
     /// conservative (the next [`DynForest::recompute`] refreshes values
     /// that were already correct), never wrong. Rollback re-attaches via a
     /// push, and cutting swap-removes, so a failed batch may permute
-    /// sibling order; for the commutative [`Algebra`] contract this is
-    /// unobservable, but ordered algebras (see
+    /// sibling order; for the commutative [`Algebra`](crate::Algebra)
+    /// contract this is unobservable, but ordered algebras (see
     /// [`OrderedRake`](crate::OrderedRake)) should treat structural edits
     /// as order-perturbing in general.
     pub fn try_batch_cut(&mut self, cuts: &[NodeId]) -> Result<(), EditError> {
@@ -408,7 +478,7 @@ impl<A: Algebra> DynForest<A> {
     }
 
     /// Links each `(child, parent)` pair, attaching the tree rooted at
-    /// `child` under `parent`. The linked subtree's cached values stay
+    /// `child` under `parent`. The linked subtree's recorded values stay
     /// valid; only the new ancestors are invalidated.
     ///
     /// Each link walks `parent`'s chain to its root to reject cycles, so a
@@ -457,12 +527,14 @@ impl<A: Algebra> DynForest<A> {
             .unwrap_or_else(|e| panic!("batch_link: {e}"));
     }
 
-    /// Replaces the labels (weights/operators) of the given nodes.
+    /// Replaces the labels (weights/operators) of the given nodes. Marks
+    /// only the edited nodes: change propagation discovers the affected
+    /// ancestors through the trace at [`DynForest::recompute`] time.
     pub fn batch_update_weights(&mut self, updates: &[(NodeId, A::Label)]) {
         let mark_start = self.profile.as_ref().map(|_| Instant::now());
         for (v, label) in updates {
             self.forest.set_label(*v, label.clone());
-            self.mark_path_dirty(v.raw());
+            self.mark_dirty(v.raw());
         }
         self.record_dirty_mark(mark_start);
     }
@@ -474,20 +546,140 @@ impl<A: Algebra> DynForest<A> {
         }
     }
 
-    /// Re-contracts the dirty set, refreshing all invalidated values.
+    /// Runs one full contraction over the current shape and rebuilds the
+    /// replay tables from its trace; returns the round count and whole-run
+    /// engine counters.
+    fn rebuild_replay(&mut self) -> (u32, EngineCounters) {
+        let n = self.forest.len();
+        self.seed = splitmix64(self.seed);
+        self.scratch.ensure(n);
+        let DynForest {
+            alg,
+            forest,
+            children,
+            scratch,
+            replay,
+            seed,
+            profile,
+            ..
+        } = self;
+        for u in 0..n as u32 {
+            let ui = u as usize;
+            scratch.par[ui] = forest.parent_raw(u);
+            scratch.count[ui] = children[ui].len() as u32;
+            scratch.acc[ui] = Some(alg.init_acc(forest.label(NodeId(u))));
+            scratch.fun[ui] = Some(alg.identity());
+            scratch.alive[ui] = true;
+            scratch.death[ui] = Death::None;
+            scratch.death_round[ui] = 0;
+            for (i, &c) in children[ui].iter().enumerate() {
+                scratch.sib[c as usize] = i as u32;
+            }
+        }
+        let active: Vec<u32> = (0..n as u32).collect();
+        let outcome = match profile {
+            Some(p) => scratch.contract_with(alg, &active, *seed, p.as_mut()),
+            None => scratch.contract_with(alg, &active, *seed, &mut NoopSink),
+        };
+        replay.rebuild(alg, children, scratch);
+        (outcome.rounds, outcome.counters)
+    }
+
+    /// Clears all pending edit marks.
+    fn clear_dirty(&mut self) {
+        let DynForest {
+            dirty, dirty_list, ..
+        } = self;
+        for &u in dirty_list.iter() {
+            dirty[u as usize] = false;
+        }
+        dirty_list.clear();
+    }
+
+    /// Refreshes all values invalidated by pending edits.
     ///
-    /// Clean children of dirty nodes are absorbed as cached constants, so
-    /// the contraction work is proportional to the dirty set plus the
-    /// total degree of its nodes, not to the forest.
+    /// Label-only batches replay the recorded trace by change propagation
+    /// (`O(affected × log)`; see the module docs). Batches containing a
+    /// cut or link — or any batch when
+    /// [`DynForest::set_propagation`]`(false)` is in effect — re-contract
+    /// the dirty set instead, with clean children entering as pre-resolved
+    /// constants; a structural batch also invalidates the replay tables,
+    /// and the next label-only recompute re-anchors on one fresh full
+    /// contraction before propagating again.
     pub fn recompute(&mut self) -> UpdateStats {
         let n = self.forest.len();
-        if self.dirty_list.is_empty() {
+        let edited = self.dirty_list.len();
+        if edited == 0 {
             return UpdateStats {
                 dirty: 0,
                 total: n,
                 rounds: 0,
+                replayed_slots: 0,
+                reused_slots: 0,
                 counters: self.profile.is_some().then(EngineCounters::default),
             };
+        }
+
+        if self.use_propagation && !self.has_structural {
+            if !self.replay.valid {
+                // A structural batch invalidated the replay tables;
+                // re-anchor with one full contraction (which also folds the
+                // pending label edits in) and return to pure propagation.
+                let (rounds, counters) = self.rebuild_replay();
+                self.clear_dirty();
+                return UpdateStats {
+                    dirty: edited,
+                    total: n,
+                    rounds,
+                    replayed_slots: n,
+                    reused_slots: 0,
+                    counters: self.profile.is_some().then_some(counters),
+                };
+            }
+            let DynForest {
+                alg,
+                forest,
+                scratch,
+                replay,
+                dirty,
+                dirty_list,
+                profile,
+                ..
+            } = self;
+            let outcome = match profile {
+                Some(p) => replay.propagate(alg, forest, scratch, dirty_list, p.as_mut()),
+                None => replay.propagate(alg, forest, scratch, dirty_list, &mut NoopSink),
+            };
+            for &u in dirty_list.iter() {
+                dirty[u as usize] = false;
+            }
+            dirty_list.clear();
+            let counters = profile.is_some().then(|| EngineCounters {
+                rounds: outcome.rounds,
+                replayed_slots: outcome.replayed as u64,
+                reused_slots: (n - outcome.replayed) as u64,
+                ..EngineCounters::default()
+            });
+            return UpdateStats {
+                dirty: edited,
+                total: n,
+                rounds: outcome.rounds,
+                replayed_slots: outcome.replayed,
+                reused_slots: n - outcome.replayed,
+                counters,
+            };
+        }
+
+        // Legacy dirty-set re-contraction. Label edits mark only the
+        // edited node, but the engine needs an upward-closed active set —
+        // close over the ancestors first (already-marked paths stop the
+        // walk immediately).
+        let snapshot: Vec<u32> = self.dirty_list.clone();
+        for &u in &snapshot {
+            let p = self.forest.parent_raw(u);
+            if p != NONE {
+                self.mark_path_dirty(p);
+            }
         }
         self.seed = splitmix64(self.seed);
         self.scratch.ensure(n);
@@ -496,10 +688,11 @@ impl<A: Algebra> DynForest<A> {
             alg,
             forest,
             children,
-            subtree,
             dirty,
             dirty_list,
+            has_structural,
             scratch,
+            replay,
             seed,
             profile,
             ..
@@ -523,10 +716,9 @@ impl<A: Algebra> DynForest<A> {
                     // right position.
                     scratch.sib[c as usize] = i as u32;
                 } else {
-                    let cached = subtree[c as usize]
-                        .clone()
-                        // lint:allow(panic): only dirty nodes lose their cache, and dirt is upward-closed
-                        .expect("clean child has a cached value");
+                    // A clean child's whole subtree is clean, so its
+                    // recorded chain still resolves to its exact value.
+                    let cached = resolve_val(alg, &scratch.death, c);
                     alg.absorb_at(&mut acc, i as u32, cached);
                 }
             }
@@ -541,27 +733,23 @@ impl<A: Algebra> DynForest<A> {
         // Both arms run the same engine code; the profiled arm pays for
         // telemetry, the default arm is compiled with the no-op sink.
         let outcome = match profile {
-            Some(p) => {
-                let outcome = scratch.contract_with(alg, dirty_list, *seed, p.as_mut());
-                let backsolve_start = Instant::now();
-                scratch.backsolve(alg, subtree);
-                p.record_span(
-                    Phase::Backsolve,
-                    backsolve_start.elapsed().as_nanos() as u64,
-                );
-                outcome
-            }
-            None => {
-                let outcome = scratch.contract_with(alg, dirty_list, *seed, &mut NoopSink);
-                scratch.backsolve(alg, subtree);
-                outcome
-            }
+            Some(p) => scratch.contract_with(alg, dirty_list, *seed, p.as_mut()),
+            None => scratch.contract_with(alg, dirty_list, *seed, &mut NoopSink),
         };
+        // The dirty-set run left a mixed-generation trace the replay
+        // tables no longer describe; rebuild lazily at the next
+        // label-only recompute so a burst of structural batches pays for
+        // one re-anchor, not one per batch.
+        replay.valid = false;
+        *has_structural = false;
 
+        let recomputed = dirty_list.len();
         let stats = UpdateStats {
-            dirty: dirty_list.len(),
+            dirty: recomputed,
             total: n,
             rounds: outcome.rounds,
+            replayed_slots: recomputed,
+            reused_slots: n - recomputed,
             counters: profile.is_some().then_some(outcome.counters),
         };
         for &u in dirty_list.iter() {
@@ -573,10 +761,10 @@ impl<A: Algebra> DynForest<A> {
 
     /// Resolves a [`QueryBatch`] against the current forest shape.
     ///
-    /// Requires a clean forest: with edits pending the cached values (and
-    /// any trace) are stale, so this returns
-    /// [`QueryError::PendingEdits`] instead of silently answering from
-    /// stale data — call [`DynForest::recompute`] first.
+    /// Requires a clean forest: with edits pending the recorded trace is
+    /// stale, so this returns [`QueryError::PendingEdits`] instead of
+    /// silently answering from stale data — call
+    /// [`DynForest::recompute`] first.
     ///
     /// Internally this runs a fresh full contraction to obtain a
     /// consistent trace. Incremental recomputes deliberately re-contract
@@ -611,10 +799,10 @@ impl<A: Algebra> DynForest<A> {
     ///   entry of `children[p]` names a node whose parent pointer is `p`
     ///   and whose `child_slot` is its list position, each node appears in
     ///   at most one child list, and the lists cover every non-root;
-    /// * **dirty-set coherence** — dirty marks are upward-closed (a dirty
-    ///   node's parent is dirty), `dirty_list` is a duplicate-free
-    ///   enumeration of exactly the flagged nodes, and every *clean* node
-    ///   has a cached subtree value for recompute to absorb.
+    /// * **edit-mark coherence** — `dirty_list` is a duplicate-free
+    ///   enumeration of exactly the flagged nodes. (Edit marks are *not*
+    ///   upward-closed: label edits mark only the edited node, and change
+    ///   propagation finds the ancestors through the trace.)
     ///
     /// Returns a descriptive [`InvariantError`](crate::check::InvariantError)
     /// for the first violation. `O(n)`.
@@ -624,10 +812,7 @@ impl<A: Algebra> DynForest<A> {
         self.forest.validate()?;
         let n = self.forest.len();
         ensure!(
-            self.children.len() == n
-                && self.child_slot.len() == n
-                && self.subtree.len() == n
-                && self.dirty.len() == n,
+            self.children.len() == n && self.child_slot.len() == n && self.dirty.len() == n,
             "dynamic side tables are not sized to the forest ({n} nodes)"
         );
 
@@ -682,37 +867,56 @@ impl<A: Algebra> DynForest<A> {
                     in_list[vi],
                     "n{v} is flagged dirty but missing from dirty_list"
                 );
-                let p = self.forest.parent_raw(v);
-                ensure!(
-                    p == NONE || self.dirty[p as usize],
-                    "dirty set not upward-closed: n{v} is dirty, its parent n{p} is not"
-                );
-            } else {
-                ensure!(
-                    self.subtree[vi].is_some(),
-                    "clean node n{v} has no cached subtree value"
-                );
             }
+        }
+        Ok(())
+    }
+
+    /// Verifies (`check` feature) that the maintained trace resolves
+    /// every node to exactly the value a fresh contraction of the current
+    /// forest computes — the bit-identical guarantee of change
+    /// propagation. Requires a clean forest (no pending edits).
+    /// `O(n log n)` w.h.p.
+    #[cfg(feature = "check")]
+    pub fn validate_values(&self) -> Result<(), crate::check::InvariantError> {
+        use crate::check::ensure;
+        ensure!(
+            self.dirty_list.is_empty(),
+            "validate_values requires a clean forest ({} edits pending)",
+            self.dirty_list.len()
+        );
+        let c = self
+            .forest
+            .contraction()
+            .seed(splitmix64(!self.seed))
+            .run(&self.alg);
+        for v in 0..self.forest.len() as u32 {
+            let got = resolve_val(&self.alg, &self.scratch.death, v);
+            ensure!(
+                got == *c.subtree_value(NodeId(v)),
+                "propagated value of n{v} diverges from a fresh contraction"
+            );
         }
         Ok(())
     }
 }
 
-impl<A: Algebra> Clone for DynForest<A>
-where
-    A::Label: Clone,
-    A::Val: Clone,
-{
+impl<A: Propagate> Clone for DynForest<A> {
     fn clone(&self) -> Self {
         DynForest {
             alg: self.alg.clone(),
             forest: self.forest.clone(),
             children: self.children.clone(),
             child_slot: self.child_slot.clone(),
-            subtree: self.subtree.clone(),
             dirty: self.dirty.clone(),
             dirty_list: self.dirty_list.clone(),
-            scratch: Scratch::default(),
+            has_structural: self.has_structural,
+            use_propagation: self.use_propagation,
+            // The scratch carries the live trace and the replay tables
+            // index into it, so both clone — a cloned forest is
+            // immediately ready to propagate (benchmarks rely on this).
+            scratch: self.scratch.clone(),
+            replay: self.replay.clone(),
             seed: self.seed,
             profile: self.profile.clone(),
         }

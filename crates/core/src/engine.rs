@@ -122,6 +122,12 @@ pub(crate) struct Scratch<A: Algebra> {
     /// rake retires siblings in arbitrary round order. A spliced-out
     /// node bequeaths its slot to its surviving child.
     pub sib: Vec<u32>,
+    /// The sibling slot a node surrendered when it was spliced out: the
+    /// position *in its own child list* where its surviving chain keeps
+    /// contributing (recorded just before `sib` is overwritten by the
+    /// bequest). Change propagation uses it to rebuild a compressed
+    /// node's accumulator from its original children minus that slot.
+    pub gap: Vec<u32>,
 }
 
 impl<A: Algebra> Default for Scratch<A> {
@@ -137,6 +143,30 @@ impl<A: Algebra> Default for Scratch<A> {
             death_order: Vec::new(),
             death_parent: Vec::new(),
             sib: Vec::new(),
+            gap: Vec::new(),
+        }
+    }
+}
+
+impl<A: Algebra> Clone for Scratch<A>
+where
+    A::Acc: Clone,
+    A::Fun: Clone,
+    A::Val: Clone,
+{
+    fn clone(&self) -> Self {
+        Scratch {
+            par: self.par.clone(),
+            count: self.count.clone(),
+            acc: self.acc.clone(),
+            fun: self.fun.clone(),
+            alive: self.alive.clone(),
+            death: self.death.clone(),
+            death_round: self.death_round.clone(),
+            death_order: self.death_order.clone(),
+            death_parent: self.death_parent.clone(),
+            sib: self.sib.clone(),
+            gap: self.gap.clone(),
         }
     }
 }
@@ -154,6 +184,7 @@ impl<A: Algebra> Scratch<A> {
             self.death_round.resize(n, 0);
             self.death_parent.resize(n, NONE);
             self.sib.resize(n, 0);
+            self.gap.resize(n, 0);
         }
     }
 
@@ -293,8 +324,12 @@ impl<A: Algebra> Scratch<A> {
                         check::must(wlog.record(Cell::Life(v), WriteMode::Exclusive, u as u64));
                         self.fun[u as usize] = Some(new_fun);
                         self.par[u as usize] = gp;
+                        // The victim remembers which of its own child slots
+                        // the surviving chain occupies (change propagation
+                        // rebuilds its accumulator around that gap), then
                         // `u` inherits the victim's slot in the grandparent's
                         // child order, keeping ordered rakes well-indexed.
+                        self.gap[v as usize] = self.sib[u as usize];
                         self.sib[u as usize] = self.sib[v as usize];
                         self.kill(v, round, Death::Compressed { child: u, fun: g });
                     }

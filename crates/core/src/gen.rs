@@ -1,7 +1,7 @@
 //! Deterministic forest generators for tests and benchmarks.
 
 use crate::algebra::{ExprLabel, ExprOp};
-use crate::arena::Forest;
+use crate::arena::{Forest, NONE};
 use crate::NodeId;
 
 pub use crate::rng::XorShift64;
@@ -55,6 +55,120 @@ pub fn caterpillar(spine: usize, legs: usize, seed: u64) -> Forest<i64> {
         prev = Some(node);
     }
     f
+}
+
+/// A complete binary tree in heap order: node `i` is the parent of
+/// `2i + 1` and `2i + 2`, giving depth `⌊log₂ n⌋` — the balanced
+/// adversary between the path (all depth) and the star (all degree).
+pub fn binary_tree(n: usize, seed: u64) -> Forest<i64> {
+    let mut rng = XorShift64::new(seed);
+    let mut f = Forest::with_capacity(n);
+    for i in 0..n {
+        let w = rng.weight();
+        if i == 0 {
+            f.add_root(w);
+        } else {
+            f.add_child(NodeId(((i - 1) / 2) as u32), w);
+        }
+    }
+    f
+}
+
+/// A broom: a path of `handle` nodes whose far end fans out into
+/// `bristles` leaf children — depth *and* degree concentrated in one
+/// tree, so an edit at a bristle must climb the whole handle.
+pub fn broom(handle: usize, bristles: usize, seed: u64) -> Forest<i64> {
+    let mut rng = XorShift64::new(seed);
+    let mut f = Forest::with_capacity(handle + bristles);
+    if handle == 0 {
+        return f;
+    }
+    let mut prev = f.add_root(rng.weight());
+    for _ in 1..handle {
+        let w = rng.weight();
+        prev = f.add_child(prev, w);
+    }
+    for _ in 0..bristles {
+        let w = rng.weight();
+        f.add_child(prev, w);
+    }
+    f
+}
+
+/// One operation of a [`churn`] edit script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// Detach this (non-root) node from its parent.
+    Cut(NodeId),
+    /// Attach a previously cut component root under a new parent.
+    Link {
+        /// The component root being attached.
+        child: NodeId,
+        /// Its new parent (never inside `child`'s component).
+        parent: NodeId,
+    },
+    /// Replace a node's weight.
+    Weight(NodeId, i64),
+}
+
+/// A random tree of `n` nodes plus a deterministic storm of `ops`
+/// interleaved cut / link / weight operations, each valid at the moment
+/// it applies (cuts only hit non-roots, links only re-attach cut-off
+/// roots and never create cycles). Exercises the structural-edit fallback
+/// path against alternating shape and label churn.
+pub fn churn(n: usize, ops: usize, seed: u64) -> (Forest<i64>, Vec<ChurnOp>) {
+    let f = random_tree(n, seed);
+    let mut rng = XorShift64::new(seed ^ 0xC0FFEE);
+    let mut script = Vec::with_capacity(ops);
+    if n < 2 {
+        return (f, script);
+    }
+    // Shadow shape so every generated op is legal when replayed in order.
+    let mut parent: Vec<u32> = (0..n as u32).map(|v| f.parent_raw(v)).collect();
+    let mut loose: Vec<u32> = Vec::new(); // roots created by cuts, not yet relinked
+    let root_of = |parent: &[u32], mut v: u32| {
+        while parent[v as usize] != NONE {
+            v = parent[v as usize];
+        }
+        v
+    };
+    for _ in 0..ops {
+        let op = match rng.below(3) {
+            0 => {
+                let v = rng.below(n as u64) as u32;
+                if parent[v as usize] == NONE {
+                    None
+                } else {
+                    parent[v as usize] = NONE;
+                    loose.push(v);
+                    Some(ChurnOp::Cut(NodeId(v)))
+                }
+            }
+            1 if !loose.is_empty() => {
+                let i = rng.below(loose.len() as u64) as usize;
+                let child = loose[i];
+                let p = rng.below(n as u64) as u32;
+                if root_of(&parent, p) == child {
+                    None
+                } else {
+                    loose.swap_remove(i);
+                    parent[child as usize] = p;
+                    Some(ChurnOp::Link {
+                        child: NodeId(child),
+                        parent: NodeId(p),
+                    })
+                }
+            }
+            _ => None,
+        };
+        // Ineligible draws (cutting a root, linking into the cut-off
+        // component, no loose roots) degrade to a weight bump so the
+        // script length stays exactly `ops`.
+        script.push(
+            op.unwrap_or_else(|| ChurnOp::Weight(NodeId(rng.below(n as u64) as u32), rng.weight())),
+        );
+    }
+    (f, script)
 }
 
 /// A random recursive tree: node `i > 0` attaches to a uniformly random

@@ -6,11 +6,13 @@
 //! nodes, and layers two engines on top of the recorded round-stamped
 //! trace:
 //!
-//! * a **batch-dynamic** update API: cached subtree values are recovered
-//!   for every node by backsolving the trace, and batches of
-//!   [`cut`](DynForest::try_batch_cut) / [`link`](DynForest::try_batch_link) /
-//!   [`weight`](DynForest::batch_update_weights) edits re-run contraction
-//!   only on the dirty set;
+//! * a **batch-dynamic** update API: subtree values resolve for every
+//!   node from the recorded trace, batches of
+//!   [`weight`](DynForest::batch_update_weights) edits *replay* only the
+//!   trace slots whose inputs changed (change propagation with cached
+//!   child aggregates — see the [`Propagate`] trait), and batches of
+//!   [`cut`](DynForest::try_batch_cut) / [`link`](DynForest::try_batch_link)
+//!   edits fall back to re-contracting the dirty set;
 //! * a **batch query** engine: a [`QueryBatch`] of mixed subtree / path /
 //!   LCA / component queries resolves in a single pass over the
 //!   contraction DAG — one `O(n)` context sweep plus `O(log n)` per query
@@ -38,7 +40,7 @@
 //!
 //! Everything the engine does is observable through the [`obs`] module: a
 //! statically-dispatched [`obs::Sink`] receives phase spans
-//! (plan/apply/backsolve/dirty-mark) and per-round counters, and the
+//! (plan/apply/backsolve/dirty-mark/propagate) and per-round counters, and the
 //! bundled [`obs::Profile`] collector aggregates them into latency
 //! histograms (p50/p90/p99) and per-round totals. The default no-op sink
 //! compiles all instrumentation out.
@@ -77,7 +79,7 @@
 //! d.batch_update_weights(&[(leaf, 30)]);
 //! assert!(d.try_subtree_value(root).is_err()); // stale until recompute
 //! d.recompute();
-//! assert_eq!(*d.subtree_value(root), 33);
+//! assert_eq!(d.subtree_value(root), 33);
 //! let answers = d.query_batch(&batch).unwrap();
 //! assert_eq!(answers[0], Ok(Answer::Value(32)));
 //! ```
@@ -95,15 +97,17 @@ pub mod gen;
 pub mod obs;
 mod ordered;
 mod par;
+mod propagate;
 pub mod query;
 mod rng;
 
 pub use algebra::{
-    Affine, Algebra, ExprAcc, ExprEval, ExprLabel, ExprOp, Extrema, MinMax, PathAlgebra, SubtreeSum,
+    Affine, Algebra, ExprAcc, ExprEval, ExprLabel, ExprOp, Extrema, Invertible, MinMax,
+    PathAlgebra, Propagate, SubtreeSum,
 };
 pub use arena::{Forest, NodeId};
-pub use contract::{ContractOptions, Contraction};
+pub use contract::{ContractOptions, Contraction, SlotKind};
 pub use dynamic::{DynForest, EditError, UpdateStats};
 pub use obs::Profile;
-pub use ordered::{HashSeq, OrderedRake, Sandwich, SeqAcc, SeqHash, SeqMonoid};
+pub use ordered::{HashSeq, OrderedRake, RunsPart, Sandwich, SeqAcc, SeqHash, SeqMonoid};
 pub use query::{Answer, Query, QueryBatch, QueryError, QueryOutcome};

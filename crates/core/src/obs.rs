@@ -6,7 +6,7 @@
 //! reports into a statically-dispatched [`Sink`]:
 //!
 //! * **Phase spans** — wall time of each [`Phase`] (`Plan`, `Apply`,
-//!   `Backsolve`, `DirtyMark`), one span per occurrence;
+//!   `Backsolve`, `DirtyMark`, `Propagate`), one span per occurrence;
 //! * **Per-round counters** — a [`RoundCounters`] record per rake/compress
 //!   round: live frontier size, rakes, splices, finishes, and coin
 //!   rejections (splice candidates that lost the randomized coin toss).
@@ -49,11 +49,14 @@ pub enum Phase {
     Backsolve,
     /// Dirty-path marking performed by a batch edit.
     DirtyMark,
+    /// Trace replay performed by change propagation (affected-slot
+    /// scheduling plus per-slot re-execution).
+    Propagate,
 }
 
 impl Phase {
     /// Number of distinct phases.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// All phases, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -61,6 +64,7 @@ impl Phase {
         Phase::Apply,
         Phase::Backsolve,
         Phase::DirtyMark,
+        Phase::Propagate,
     ];
 
     /// Dense index, `0..Phase::COUNT`.
@@ -76,6 +80,7 @@ impl Phase {
             Phase::Apply => "apply",
             Phase::Backsolve => "backsolve",
             Phase::DirtyMark => "dirty_mark",
+            Phase::Propagate => "propagate",
         }
     }
 }
@@ -133,6 +138,12 @@ pub struct EngineCounters {
     pub coin_rejections: u64,
     /// Largest round-start frontier observed.
     pub max_frontier: usize,
+    /// Trace slots re-executed by change propagation (0 for full
+    /// contractions and legacy dirty-set recomputes).
+    pub replayed_slots: u64,
+    /// Trace slots whose recorded result was reused untouched by change
+    /// propagation.
+    pub reused_slots: u64,
 }
 
 impl EngineCounters {
@@ -167,7 +178,15 @@ impl fmt::Display for EngineCounters {
             self.finishes,
             self.coin_rejections,
             self.max_frontier
-        )
+        )?;
+        if self.replayed_slots + self.reused_slots > 0 {
+            write!(
+                f,
+                ", {} slots replayed, {} reused",
+                self.replayed_slots, self.reused_slots
+            )?;
+        }
+        Ok(())
     }
 }
 

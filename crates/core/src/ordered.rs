@@ -19,7 +19,7 @@
 //! preorder label sequence — deliberately non-commutative, which makes it a
 //! sharp oracle test for the sibling-index plumbing.
 
-use crate::algebra::Algebra;
+use crate::algebra::{Algebra, Propagate};
 use crate::rng::splitmix64;
 
 /// An associative (not necessarily commutative) monoid over sequences of
@@ -28,7 +28,9 @@ pub trait SeqMonoid: Clone {
     /// Per-node input label.
     type Label: Clone;
     /// Monoid element (the fold of a contiguous label sequence).
-    type Elem: Clone;
+    /// `PartialEq` is inherited from the [`Algebra::Val`] bound so change
+    /// propagation can detect unchanged replays.
+    type Elem: Clone + PartialEq;
 
     /// The element of the single-label sequence.
     fn lift(&self, label: &Self::Label) -> Self::Elem;
@@ -91,14 +93,19 @@ impl<M: SeqMonoid> OrderedRake<M> {
     /// Inserts `val` at sibling index `i`, coalescing with the runs that
     /// end at `i` and/or start at `i + 1`.
     fn insert(&self, acc: &mut SeqAcc<M::Elem>, i: u32, val: M::Elem) {
-        let runs = &mut acc.runs;
-        let pos = runs.partition_point(|r| r.end < i);
-        let glue_left = pos < runs.len() && runs[pos].end == i;
+        self.insert_run(&mut acc.runs, i, i + 1, val);
+    }
+
+    /// Inserts the already-folded run `[start, end)`, coalescing with the
+    /// runs that end at `start` and/or start at `end`.
+    fn insert_run(&self, runs: &mut Vec<Run<M::Elem>>, start: u32, end: u32, val: M::Elem) {
+        let pos = runs.partition_point(|r| r.end < start);
+        let glue_left = pos < runs.len() && runs[pos].end == start;
         let right = if glue_left { pos + 1 } else { pos };
-        let glue_right = right < runs.len() && runs[right].start == i + 1;
+        let glue_right = right < runs.len() && runs[right].start == end;
         debug_assert!(
-            pos >= runs.len() || runs[pos].start > i || glue_left,
-            "sibling index {i} absorbed twice"
+            pos >= runs.len() || runs[pos].start >= end || glue_left,
+            "sibling run [{start}, {end}) absorbed twice"
         );
         match (glue_left, glue_right) {
             (true, true) => {
@@ -111,20 +118,13 @@ impl<M: SeqMonoid> OrderedRake<M> {
             }
             (true, false) => {
                 runs[pos].val = self.0.concat(&runs[pos].val, &val);
-                runs[pos].end = i + 1;
+                runs[pos].end = end;
             }
             (false, true) => {
                 runs[right].val = self.0.concat(&val, &runs[right].val);
-                runs[right].start = i;
+                runs[right].start = start;
             }
-            (false, false) => runs.insert(
-                pos,
-                Run {
-                    start: i,
-                    end: i + 1,
-                    val,
-                },
-            ),
+            (false, false) => runs.insert(pos, Run { start, end, val }),
         }
     }
 }
@@ -197,6 +197,52 @@ impl<M: SeqMonoid> Algebra for OrderedRake<M> {
 
     fn apply(&self, f: &Sandwich<M::Elem>, x: M::Elem) -> M::Elem {
         self.0.concat(&self.0.concat(&f.pre, &x), &f.post)
+    }
+}
+
+/// Partial sibling aggregate of [`OrderedRake`] for change propagation: a
+/// sorted, coalesced list of absorbed sibling runs (the same shape as the
+/// [`SeqAcc`] run list, minus the node's own label). Opaque — built and
+/// consumed only through the [`Propagate`] methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunsPart<E>(Vec<Run<E>>);
+
+impl<M: SeqMonoid> Propagate for OrderedRake<M> {
+    type Part = RunsPart<M::Elem>;
+
+    fn part_empty(&self) -> RunsPart<M::Elem> {
+        RunsPart(Vec::new())
+    }
+
+    fn part_of(&self, slot: u32, child: M::Elem) -> RunsPart<M::Elem> {
+        RunsPart(vec![Run {
+            start: slot,
+            end: slot + 1,
+            val: child,
+        }])
+    }
+
+    /// `lo` covers strictly lower sibling slots than `hi`, so the run
+    /// lists concatenate; only the boundary pair can coalesce.
+    fn part_merge(&self, lo: &RunsPart<M::Elem>, hi: &RunsPart<M::Elem>) -> RunsPart<M::Elem> {
+        let mut out = lo.0.clone();
+        let mut rest = hi.0.iter();
+        if let (Some(last), Some(first)) = (out.last_mut(), hi.0.first()) {
+            debug_assert!(last.end <= first.start, "part_merge ranges out of order");
+            if last.end == first.start {
+                last.val = self.0.concat(&last.val, &first.val);
+                last.end = first.end;
+                rest.next();
+            }
+        }
+        out.extend(rest.cloned());
+        RunsPart(out)
+    }
+
+    fn absorb_part(&self, acc: &mut SeqAcc<M::Elem>, part: &RunsPart<M::Elem>) {
+        for r in &part.0 {
+            self.insert_run(&mut acc.runs, r.start, r.end, r.val.clone());
+        }
     }
 }
 

@@ -9,7 +9,7 @@ fn assert_matches_oracle(d: &DynForest<SubtreeSum>, context: &str) {
     for v in d.forest().node_ids() {
         assert_eq!(
             d.subtree_value(v),
-            &oracle[v.index()],
+            oracle[v.index()],
             "{context}: mismatch at {v}"
         );
     }
@@ -21,7 +21,7 @@ fn initial_contraction_matches_static() {
     let stat = f.contraction().run(&SubtreeSum);
     let d = DynForest::new(f, SubtreeSum);
     for v in d.forest().node_ids() {
-        assert_eq!(d.subtree_value(v), stat.subtree_value(v));
+        assert_eq!(d.subtree_value(v), *stat.subtree_value(v));
     }
 }
 
@@ -130,7 +130,7 @@ fn thousand_edge_cut_link_round_trip_is_incremental() {
     );
     assert_eq!(d.forest().roots().count(), 1);
     for v in d.forest().node_ids() {
-        assert_eq!(d.subtree_value(v), original.subtree_value(v));
+        assert_eq!(d.subtree_value(v), *original.subtree_value(v));
     }
 }
 
@@ -168,7 +168,7 @@ fn expression_leaf_updates() {
 
     let oracle = d.forest().sequential_fold(&ExprEval);
     for v in d.forest().node_ids() {
-        assert_eq!(d.subtree_value(v), &oracle[v.index()], "expr at {v}");
+        assert_eq!(d.subtree_value(v), oracle[v.index()], "expr at {v}");
     }
 }
 

@@ -101,6 +101,8 @@ fn dynamic_counters_match_dirty_set_per_recompute() {
     d.enable_profiling();
     assert!(d.profiling_enabled());
 
+    // Label-only batches recompute by trace propagation: no engine run,
+    // so the counters report replayed/reused slots, not retirements.
     for batch in 0..5u64 {
         let updates: Vec<(NodeId, i64)> = d
             .forest()
@@ -114,21 +116,64 @@ fn dynamic_counters_match_dirty_set_per_recompute() {
         let counters = stats.counters.expect("profiling fills counters");
         assert_eq!(
             counters.retired(),
-            stats.dirty as u64,
-            "per-run retirements must equal the dirty-set size"
+            0,
+            "propagation replays slots, it retires nothing"
         );
         assert_eq!(counters.rounds, stats.rounds);
-        assert_eq!(counters.max_frontier, stats.dirty);
+        assert_eq!(counters.replayed_slots, stats.replayed_slots as u64);
+        assert_eq!(counters.reused_slots, stats.reused_slots as u64);
+        assert!(
+            stats.replayed_slots >= stats.dirty,
+            "every edited slot replays"
+        );
+        assert_eq!(stats.replayed_slots + stats.reused_slots, stats.total);
     }
 
-    let prof = d.profile().unwrap();
-    assert_eq!(prof.runs(), 5, "one run per non-empty recompute");
+    {
+        let prof = d.profile().unwrap();
+        assert_eq!(prof.runs(), 0, "propagation recomputes without engine runs");
+        assert_eq!(
+            prof.phase_stats(Phase::DirtyMark).spans(),
+            5,
+            "one dirty-mark span per batch edit"
+        );
+        assert_eq!(
+            prof.phase_stats(Phase::Propagate).spans(),
+            5,
+            "one propagate span per recompute"
+        );
+        assert_eq!(prof.phase_stats(Phase::Backsolve).spans(), 0);
+    }
+
+    // The legacy dirty-set path keeps the engine-run counter semantics.
+    d.set_propagation(false);
+    let updates: Vec<(NodeId, i64)> = d
+        .forest()
+        .node_ids()
+        .step_by(37)
+        .take(50)
+        .map(|v| (v, 9))
+        .collect();
+    d.batch_update_weights(&updates);
+    let stats = d.recompute();
+    let counters = stats.counters.expect("profiling fills counters");
     assert_eq!(
-        prof.phase_stats(Phase::DirtyMark).spans(),
-        5,
-        "one dirty-mark span per batch edit"
+        counters.retired(),
+        stats.dirty as u64,
+        "per-run retirements must equal the dirty-set size"
     );
-    assert_eq!(prof.phase_stats(Phase::Backsolve).spans(), 5);
+    assert_eq!(counters.rounds, stats.rounds);
+    assert_eq!(counters.max_frontier, stats.dirty);
+    assert_eq!(
+        counters.replayed_slots + counters.reused_slots,
+        0,
+        "legacy engine counters do not track slot reuse"
+    );
+    assert_eq!(
+        d.profile().unwrap().runs(),
+        1,
+        "one engine run per legacy recompute"
+    );
 
     // An empty recompute reports zeroed counters, not None.
     let stats = d.recompute();
@@ -137,7 +182,7 @@ fn dynamic_counters_match_dirty_set_per_recompute() {
 
     // Detaching the profile disables collection again.
     let prof = d.take_profile().unwrap();
-    assert_eq!(prof.runs(), 5);
+    assert_eq!(prof.runs(), 1);
     assert!(!d.profiling_enabled());
     d.batch_update_weights(&[(NodeId::from_index(0), 7)]);
     assert!(d.recompute().counters.is_none());

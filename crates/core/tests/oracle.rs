@@ -62,6 +62,18 @@ fn sum_matches_oracle_on_paths_stars_caterpillars() {
 }
 
 #[test]
+fn sum_matches_oracle_on_binary_trees_and_brooms() {
+    for &n in &[1usize, 2, 7, 255, 4_096] {
+        let f = gen::binary_tree(n, 13);
+        check_against_oracle(&format!("binary_tree({n})"), &f, &SubtreeSum, 1);
+    }
+    for &(handle, bristles) in &[(1usize, 5usize), (100, 0), (500, 500), (2_000, 50)] {
+        let f = gen::broom(handle, bristles, 13);
+        check_against_oracle(&format!("broom({handle},{bristles})"), &f, &SubtreeSum, 1);
+    }
+}
+
+#[test]
 fn sum_matches_oracle_on_100k_random_tree() {
     let n = 100_000;
     let f = gen::random_tree(n, 4242);

@@ -1,0 +1,242 @@
+//! Differential tests for change propagation: the trace-replay path must
+//! produce exactly the values of the legacy dirty-set re-contraction (and
+//! of the sequential oracle) over long random edit scripts, across the
+//! whole shape zoo, for invertible and non-invertible algebras alike.
+
+use dtc_core::gen::{self, ChurnOp, XorShift64};
+use dtc_core::{DynForest, ExprEval, ExprLabel, Forest, MinMax, NodeId, Propagate, SubtreeSum};
+
+/// Every shape the propagator has to survive, including the adversarial
+/// depth (path, broom handle) and degree (star, broom head) extremes.
+fn shape_zoo(n: usize, seed: u64) -> Vec<(String, Forest<i64>)> {
+    vec![
+        (format!("random_tree({n})"), gen::random_tree(n, seed)),
+        (format!("path({n})"), gen::path(n, seed)),
+        (format!("star({n})"), gen::star(n, seed)),
+        (
+            format!("caterpillar({},4)", n / 5),
+            gen::caterpillar(n / 5, 4, seed),
+        ),
+        (format!("binary_tree({n})"), gen::binary_tree(n, seed)),
+        (
+            format!("broom({},{})", n / 2, n / 2),
+            gen::broom(n / 2, n / 2, seed),
+        ),
+        (
+            format!("random_forest({n},7)"),
+            gen::random_forest(n, 7, seed),
+        ),
+    ]
+}
+
+/// Applies the same label-edit script to a propagating forest and a
+/// legacy-path twin, checking both against each other and the oracle
+/// after every batch.
+fn diff_label_script<A>(name: &str, forest: Forest<A::Label>, alg: A, edits: usize, seed: u64)
+where
+    A: Propagate<Label = i64>,
+    A::Val: std::fmt::Debug,
+{
+    let n = forest.len();
+    let mut rng = XorShift64::new(seed);
+    let mut fast = DynForest::with_seed(forest, alg.clone(), 0xFA57);
+    let mut slow = fast.clone();
+    slow.set_propagation(false);
+    assert!(fast.propagation_enabled() && !slow.propagation_enabled());
+
+    let mut done = 0usize;
+    while done < edits {
+        let batch_len = 1 + rng.below(16) as usize;
+        let updates: Vec<(NodeId, i64)> = (0..batch_len.min(edits - done))
+            .map(|_| {
+                (
+                    NodeId::from_index(rng.below(n as u64) as usize),
+                    rng.weight(),
+                )
+            })
+            .collect();
+        done += updates.len();
+        fast.batch_update_weights(&updates);
+        slow.batch_update_weights(&updates);
+        let fstats = fast.recompute();
+        let sstats = slow.recompute();
+        assert_eq!(
+            fstats.replayed_slots + fstats.reused_slots,
+            fstats.total,
+            "{name}: replay stats must partition the trace"
+        );
+        assert_eq!(
+            sstats.replayed_slots + sstats.reused_slots,
+            sstats.total,
+            "{name}: legacy stats must partition the trace"
+        );
+        let oracle = fast.forest().sequential_fold(&alg);
+        for v in fast.forest().node_ids() {
+            let f = fast.subtree_value(v);
+            assert_eq!(f, slow.subtree_value(v), "{name}: paths diverge at {v}");
+            assert_eq!(f, oracle[v.index()], "{name}: oracle mismatch at {v}");
+        }
+    }
+}
+
+#[test]
+fn propagation_matches_legacy_across_shape_zoo() {
+    for (name, f) in shape_zoo(600, 0xD1FF) {
+        diff_label_script(&name, f, SubtreeSum, 120, 0x5C41A7);
+    }
+}
+
+#[test]
+fn propagation_matches_legacy_for_noninvertible_minmax() {
+    for (name, f) in shape_zoo(400, 0x3A11) {
+        diff_label_script(&name, f, MinMax, 80, 0xBEEF);
+    }
+}
+
+#[test]
+fn propagation_matches_legacy_for_expressions() {
+    let f = gen::random_expr(2_000, 9);
+    let leaves: Vec<NodeId> = f
+        .node_ids()
+        .filter(|&v| matches!(f.label(v), ExprLabel::Leaf(_)))
+        .collect();
+    let mut fast = DynForest::with_seed(f, ExprEval, 0xE4);
+    let mut slow = fast.clone();
+    slow.set_propagation(false);
+
+    let mut rng = XorShift64::new(0xAB);
+    for _ in 0..40 {
+        let updates: Vec<(NodeId, ExprLabel)> = (0..1 + rng.below(8))
+            .map(|_| {
+                let v = leaves[rng.below(leaves.len() as u64) as usize];
+                (v, ExprLabel::Leaf(rng.below(7) as i64 - 3))
+            })
+            .collect();
+        fast.batch_update_weights(&updates);
+        slow.batch_update_weights(&updates);
+        fast.recompute();
+        slow.recompute();
+        let oracle = fast.forest().sequential_fold(&ExprEval);
+        for v in fast.forest().node_ids() {
+            let got = fast.subtree_value(v);
+            assert_eq!(got, slow.subtree_value(v), "expr paths diverge at {v}");
+            assert_eq!(got, oracle[v.index()], "expr oracle mismatch at {v}");
+        }
+    }
+}
+
+/// Churn scripts interleave structural edits (which force the legacy
+/// fallback and invalidate the replay tables) with label edits (which
+/// re-anchor on a fresh contraction and then propagate again); values
+/// must stay exact through every transition.
+#[test]
+fn propagation_survives_structural_churn_and_reanchors() {
+    let (f, script) = gen::churn(500, 200, 0xC08A);
+    let mut d = DynForest::with_seed(f, SubtreeSum, 0x11);
+    for (i, chunk) in script.chunks(8).enumerate() {
+        for &op in chunk {
+            match op {
+                ChurnOp::Cut(v) => d.batch_cut(&[v]),
+                ChurnOp::Link { child, parent } => d.batch_link(&[(child, parent)]),
+                ChurnOp::Weight(v, w) => d.batch_update_weights(&[(v, w)]),
+            }
+        }
+        d.recompute();
+        let oracle = d.forest().sequential_fold(&SubtreeSum);
+        for v in d.forest().node_ids() {
+            assert_eq!(
+                d.subtree_value(v),
+                oracle[v.index()],
+                "churn chunk {i}: mismatch at {v}"
+            );
+        }
+    }
+    // A label-only batch after all that churn exercises the re-anchor
+    // (full contraction) and then pure propagation on the new trace.
+    d.batch_update_weights(&[(NodeId::from_index(3), 1_000)]);
+    let stats = d.recompute();
+    assert_eq!(stats.replayed_slots, stats.total, "re-anchor replays all");
+    d.batch_update_weights(&[(NodeId::from_index(3), -7)]);
+    let stats = d.recompute();
+    assert!(
+        stats.replayed_slots < stats.total,
+        "post-anchor batches propagate incrementally again"
+    );
+    let oracle = d.forest().sequential_fold(&SubtreeSum);
+    for v in d.forest().node_ids() {
+        assert_eq!(d.subtree_value(v), oracle[v.index()]);
+    }
+}
+
+/// The whole point of the accumulator caches: a small edit batch must not
+/// replay the world, even on the depth/degree-adversarial shapes where
+/// the dirty-path baseline degenerates to O(n).
+#[test]
+fn small_batches_replay_few_slots_on_adversarial_shapes() {
+    let n = 50_000usize;
+    for (name, f) in [
+        ("path", gen::path(n, 5)),
+        ("star", gen::star(n, 5)),
+        ("random", gen::random_tree(n, 5)),
+        ("broom", gen::broom(n / 2, n / 2, 5)),
+    ] {
+        let mut d = DynForest::with_seed(f, SubtreeSum, 0x909);
+        d.batch_update_weights(&[(NodeId::from_index(n - 1), 42)]);
+        let stats = d.recompute();
+        assert!(
+            stats.replayed_slots * 10 < stats.total,
+            "{name}: single edit replayed {} of {} slots",
+            stats.replayed_slots,
+            stats.total
+        );
+    }
+}
+
+/// Cutoff: a replayed slot that reproduces its recorded contribution
+/// stops the wave. An identity edit still climbs its compress chain (one
+/// survivor hop per trace round, O(log n) of them) but must cut off at
+/// the first rake instead of replaying the whole path to the root.
+#[test]
+fn minmax_cutoff_stops_the_wave() {
+    let n = 20_000usize;
+    let f = gen::path(n, 7);
+    let mid_weight = *f.label(NodeId::from_index(n / 2));
+    let mut d = DynForest::with_seed(f, MinMax, 0x7777);
+    d.batch_update_weights(&[(NodeId::from_index(n / 2), mid_weight)]);
+    let stats = d.recompute();
+    assert!(
+        stats.replayed_slots <= 64,
+        "identity edit replayed {} slots (expected O(log n))",
+        stats.replayed_slots
+    );
+    let oracle = d.forest().sequential_fold(&MinMax);
+    for v in d.forest().node_ids() {
+        assert_eq!(d.subtree_value(v), oracle[v.index()]);
+    }
+}
+
+/// Bit-identical guarantee, checked by the crate's own validator up to
+/// 10⁵ nodes (`check` feature).
+#[cfg(feature = "check")]
+#[test]
+fn validator_confirms_value_identity_at_100k() {
+    let n = 100_000usize;
+    let mut d = DynForest::with_seed(gen::random_tree(n, 0x51DE), SubtreeSum, 0xF00);
+    d.validate().unwrap();
+    d.validate_values().unwrap();
+    let mut rng = XorShift64::new(0xFACE);
+    for _ in 0..5 {
+        let updates: Vec<(NodeId, i64)> = (0..200)
+            .map(|_| {
+                (
+                    NodeId::from_index(rng.below(n as u64) as usize),
+                    rng.weight(),
+                )
+            })
+            .collect();
+        d.batch_update_weights(&updates);
+        d.recompute();
+        d.validate().unwrap();
+        d.validate_values().unwrap();
+    }
+}

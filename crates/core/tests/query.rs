@@ -273,8 +273,8 @@ fn dyn_forest_guards_stale_reads_and_pending_queries() {
     let leaf = f.add_child(a, 3);
     let mut d = DynForest::new(f, SubtreeSum);
 
-    assert_eq!(d.try_subtree_value(r), Ok(&6));
-    assert_eq!(d.try_component_value(leaf), Ok(&6));
+    assert_eq!(d.try_subtree_value(r), Ok(6));
+    assert_eq!(d.try_component_value(leaf), Ok(6));
     let mut batch = QueryBatch::new();
     batch.subtree(a).path(leaf, r);
     assert!(d.query_batch(&batch).is_ok());
@@ -302,7 +302,7 @@ fn dyn_forest_guards_stale_reads_and_pending_queries() {
     );
 
     d.recompute();
-    assert_eq!(d.try_subtree_value(r), Ok(&33));
+    assert_eq!(d.try_subtree_value(r), Ok(33));
     let answers = d.query_batch(&batch).unwrap();
     assert_eq!(answers[0], Ok(Answer::Value(32)));
     assert_eq!(answers[1], Ok(Answer::PathValue(33)));
@@ -354,7 +354,7 @@ fn failed_edit_batches_roll_back_the_shape() {
     d.recompute();
     let oracle = d.forest().sequential_fold(&SubtreeSum);
     for v in [r, a, b, c] {
-        assert_eq!(d.subtree_value(v), &oracle[v.index()]);
+        assert_eq!(d.subtree_value(v), oracle[v.index()]);
     }
 }
 
@@ -394,7 +394,7 @@ fn interleaved_edits_queries_and_recomputes_match_oracle() {
         let oracle = d.forest().sequential_fold(&SubtreeSum);
         for _ in 0..50 {
             let v = pick(&mut rng);
-            assert_eq!(d.subtree_value(v), &oracle[v.index()], "round {round}");
+            assert_eq!(d.subtree_value(v), oracle[v.index()], "round {round}");
         }
         // …and so does a mixed query batch resolved over a fresh trace.
         let mut batch = QueryBatch::new();
@@ -470,7 +470,7 @@ fn ordered_rake_survives_dynamic_weight_updates() {
         d.recompute();
         let oracle = d.forest().sequential_fold(&OrderedRake(SeqHash));
         for v in d.forest().node_ids() {
-            assert_eq!(d.subtree_value(v), &oracle[v.index()], "round {round}");
+            assert_eq!(d.subtree_value(v), oracle[v.index()], "round {round}");
         }
     }
 }

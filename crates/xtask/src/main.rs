@@ -402,6 +402,25 @@ mod tests {
     }
 
     #[test]
+    fn obs_rule_accepts_the_propagate_span_idiom() {
+        // The change-propagation pass opens its span with a gated start
+        // timestamp and closes it at the end of the function; both ends
+        // must satisfy the lint as written in propagate.rs.
+        let src = "let start = if S::ENABLED { Some(Instant::now()) } else { None };\n\
+                   // ... propagation wave ...\n\
+                   if let Some(t) = start {\n\
+                   \x20   sink.phase(Phase::Propagate, t.elapsed().as_nanos() as u64);\n\
+                   }\n";
+        let mut findings = Vec::new();
+        lint_obs_gating(
+            Path::new("crates/core/src/propagate.rs"),
+            src,
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
     fn feature_table_and_refs_parse() {
         let toml =
             "[package]\nname = \"x\"\n[features]\nparallel = []\ncheck = []\n\n[dependencies]\n";
